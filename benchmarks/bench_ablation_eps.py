@@ -1,0 +1,60 @@
+"""Ablation: CBS Step 3 relaxation strength (the eps knob).
+
+DESIGN.md calls out eps as a load-bearing design choice: small eps keeps
+SALT close to shortest paths (shallow, heavy), large eps approaches the
+RSMT (light, deep), and the Step 5 repair cost depends on how far the
+relaxation strays from balance.  This bench sweeps eps at two skew
+bounds and prints wirelength / latency / repair status.
+"""
+
+import random
+
+from repro.core import cbs
+from repro.dme import ElmoreDelay
+from repro.io import format_table
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+from conftest import emit, env_int, random_clock_net
+
+EPS_VALUES = (0.0, 0.1, 0.2, 0.4, 0.8)
+BOUNDS_PS = (5.0, 80.0)
+
+
+def run_sweep(n_nets):
+    tech = Technology()
+    analyzer = ElmoreAnalyzer(tech)
+    rows = []
+    for bound in BOUNDS_PS:
+        for eps in EPS_VALUES:
+            rng = random.Random(1234)
+            wl = lat = skew = 0.0
+            for i in range(n_nets):
+                net = random_clock_net(rng, name=f"ab{i}")
+                tree = cbs(net, bound, eps=eps, model=ElmoreDelay(tech))
+                rep = analyzer.analyze(tree)
+                assert rep.skew <= bound + 1e-6
+                wl += tree.wirelength()
+                lat += rep.latency
+                skew += rep.skew
+            rows.append([
+                f"{bound:g}", eps, wl / n_nets, lat / n_nets, skew / n_nets,
+            ])
+    return rows
+
+
+def test_ablation_eps(once):
+    n_nets = env_int("REPRO_NETS", 40)
+    rows = once(run_sweep, n_nets)
+    emit("ablation_eps", format_table(
+        ["bound(ps)", "eps", "WL(um)", "latency(ps)", "skew(ps)"],
+        rows,
+        title=f"Ablation: CBS eps sweep over {n_nets} nets per cell",
+        precision=2,
+    ))
+    # at the relaxed bound, more relaxation must not cost wire
+    relaxed = {r[1]: r[2] for r in rows if r[0] == "80"}
+    assert relaxed[EPS_VALUES[-1]] <= relaxed[0.0] + 1e-9
+    # latency grows with eps at the relaxed bound (the trade-off exists)
+    lat = {r[1]: r[3] for r in rows if r[0] == "80"}
+    assert lat[EPS_VALUES[-1]] >= lat[0.0] - 1e-9

@@ -1,0 +1,83 @@
+"""Reproduce paper Fig. 2: the CBS construction flow, step by step.
+
+Fig. 2 is a flowchart; the data behind it is how the tree's wirelength,
+maximum path length and skew evolve through the five steps.  This bench
+instruments each step on one net and prints the trace:
+
+* Step 1 (BST)   — skew-legal, heavy, deep;
+* Step 2 (skeleton) — snaking dropped, redundancy pruned;
+* Step 3 (SALT)  — light and shallow, skew legality *broken*;
+* Step 4 (legalise) — binary, sinks as leaves (geometry unchanged);
+* Step 5 (BST re-embed + cleanup) — skew restored at small cost.
+"""
+
+import random
+
+from repro.dme import ElmoreDelay, bst_dme
+from repro.dme.repair import repair_skew
+from repro.io import format_table
+from repro.netlist import (
+    binarize,
+    prune_redundant_steiner,
+    sinks_to_leaves,
+)
+from repro.salt import salt
+from repro.salt.refine import refine
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+from conftest import emit, random_clock_net
+
+SKEW_BOUND_PS = 2.0
+
+
+def run_steps():
+    rng = random.Random(99)
+    net = random_clock_net(rng, n_pins=30, name="fig2")
+    tech = Technology()
+    model = ElmoreDelay(tech)
+    analyzer = ElmoreAnalyzer(tech)
+    trace = []
+
+    def record(step, tree):
+        rep = analyzer.analyze(tree)
+        trace.append([step, tree.wirelength(), rep.latency, rep.skew])
+
+    step1 = bst_dme(net, SKEW_BOUND_PS, model=model)
+    record("1: BST-DME", step1)
+
+    skeleton = step1.copy()
+    for nid in skeleton.node_ids():
+        if skeleton.node(nid).parent is not None:
+            skeleton.node(nid).detour = 0.0
+    prune_redundant_steiner(skeleton)
+    refine(skeleton)
+    record("2: topology skeleton", skeleton)
+
+    relaxed = salt(net, eps=0.4, init=skeleton)
+    record("3: SALT relaxation", relaxed)
+
+    sinks_to_leaves(relaxed)
+    binarize(relaxed)
+    record("4: legalised", relaxed)
+
+    repair_skew(relaxed, SKEW_BOUND_PS, model=model)
+    prune_redundant_steiner(relaxed, preserve_length=True)
+    record("5: BST re-embed + cleanup", relaxed)
+    return trace
+
+
+def test_fig2_steps(once):
+    trace = once(run_steps)
+    emit("fig2_cbs_steps", format_table(
+        ["Step", "WL(um)", "latency(ps)", "skew(ps)"],
+        trace,
+        title=f"Fig. 2: CBS steps on a 30-pin net (bound {SKEW_BOUND_PS} ps)",
+    ))
+    by_step = {row[0]: row for row in trace}
+    # Step 3 breaks skew legality; Step 5 restores it
+    assert by_step["3: SALT relaxation"][3] > SKEW_BOUND_PS
+    assert by_step["5: BST re-embed + cleanup"][3] <= SKEW_BOUND_PS + 1e-6
+    # the final tree is lighter and shallower than the Step 1 BST
+    assert by_step["5: BST re-embed + cleanup"][1] < by_step["1: BST-DME"][1]
+    assert by_step["5: BST re-embed + cleanup"][2] < by_step["1: BST-DME"][2]

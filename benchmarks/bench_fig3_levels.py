@@ -1,0 +1,53 @@
+"""Reproduce paper Fig. 3: the hierarchical CTS flow, level by level.
+
+Fig. 3 is the framework flowchart (partition -> routing topology ->
+buffering, per level).  The data behind it: per-level sink counts,
+cluster counts, SA refinement deltas, worst net capacitance/fanout and
+buffers added.  This bench runs the flow on the salsa20 design and
+prints that digest, asserting every level respects the Table 5
+constraints.
+"""
+
+from repro.cts import HierarchicalCTS, TABLE5
+from repro.cts.evaluation import evaluate_result
+from repro.designs import load_design
+from repro.io import format_table
+from repro.tech import Technology
+
+from conftest import emit, env_float
+
+
+def test_fig3_levels(once):
+    scale = env_float("REPRO_SCALE", 0.5)
+    design = load_design("salsa20", scale=scale)
+    tech = Technology()
+    result = once(HierarchicalCTS(tech=tech).run, design.sinks, design.source)
+    report = evaluate_result(result, tech)
+
+    rows = []
+    for lv in result.levels:
+        rows.append([
+            lv.level, lv.num_sinks, lv.num_clusters,
+            lv.sa_cost_before, lv.sa_cost_after,
+            lv.max_net_cap, lv.max_net_fanout, lv.buffers_added,
+        ])
+    summary = (
+        f"final: latency {report.latency_ps:.1f} ps, skew "
+        f"{report.skew_ps:.1f} ps, {report.num_buffers} buffers, "
+        f"WL {report.clock_wl_um:.0f} um"
+    )
+    emit("fig3_levels", format_table(
+        ["level", "#sinks", "#clusters", "SA before", "SA after",
+         "max cap(fF)", "max fanout", "#buf"],
+        rows,
+        title=(f"Fig. 3: hierarchical flow on salsa20 (scale {scale}: "
+               f"{len(design.sinks)} FFs)\n{summary}"),
+        precision=1,
+    ))
+
+    assert result.levels, "salsa20 must need at least one level"
+    for lv in result.levels:
+        assert lv.max_net_fanout <= TABLE5.max_fanout
+        assert lv.sa_cost_after <= lv.sa_cost_before + 1e-9
+        assert lv.num_clusters < lv.num_sinks
+    assert report.skew_ps <= TABLE5.skew_bound

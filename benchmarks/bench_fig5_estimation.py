@@ -1,0 +1,81 @@
+"""Reproduce paper Fig. 5: insertion-delay lower-bound estimation.
+
+Fig. 5's claim: charging each node a provisional delay (Eq. (7)) *before*
+its buffer exists keeps post-insertion corrections small — "lowering skew
+repair costs and latency by reducing downstream node disparities".
+
+Two measurements:
+
+1. per-cluster delay gap |actual driver delay - provisional charge|, with
+   the Eq. (7) estimate vs with no estimate (charge 0) — the estimate
+   must shrink the gap that upstream balancing later has to absorb;
+2. full-flow skew with the estimate on vs off (the end-to-end effect).
+"""
+
+import random
+
+from repro.buffering import driver_for_load, insertion_delay_estimate
+from repro.cts import FlowConfig, HierarchicalCTS
+from repro.cts.evaluation import evaluate_result
+from repro.geometry import Point
+from repro.io import format_table
+from repro.netlist import Sink
+from repro.tech import Technology, default_library
+
+from conftest import emit
+
+
+def gap_study(n_cases=300, seed=3):
+    rng = random.Random(seed)
+    lib = default_library()
+    with_est = without_est = 0.0
+    for _ in range(n_cases):
+        load = rng.uniform(10.0, 140.0)   # fF, a realistic cluster load
+        slew = rng.uniform(5.0, 40.0)
+        actual = driver_for_load(lib, load, slew).delay(slew, load)
+        estimate = insertion_delay_estimate(lib, load)
+        with_est += abs(actual - estimate)
+        without_est += actual  # no provisional charge: the full delay hits
+    return with_est / n_cases, without_est / n_cases
+
+
+def flow_study(seed=5, n=400):
+    rng = random.Random(seed)
+    tech = Technology()
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 150), rng.uniform(0, 150)),
+             cap=1.0)
+        for i in range(n)
+    ]
+    out = {}
+    for label, use in (("Eq.(7) estimate", True), ("no estimate", False)):
+        cfg = FlowConfig(use_insertion_estimate=use, sa_iterations=50)
+        result = HierarchicalCTS(tech=tech, config=cfg).run(
+            sinks, Point(75, 75)
+        )
+        out[label] = evaluate_result(result, tech)
+    return out
+
+
+def test_fig5_estimation(once):
+    gap_with, gap_without = once(gap_study)
+    reports = flow_study()
+    rows = [
+        ["mean delay gap at merge (ps)", gap_with, gap_without],
+        ["full-flow skew (ps)",
+         reports["Eq.(7) estimate"].skew_ps,
+         reports["no estimate"].skew_ps],
+        ["full-flow latency (ps)",
+         reports["Eq.(7) estimate"].latency_ps,
+         reports["no estimate"].latency_ps],
+    ]
+    emit("fig5_estimation", format_table(
+        ["metric", "with Eq.(7)", "without"],
+        rows,
+        title="Fig. 5: insertion-delay lower-bound estimation",
+    ))
+    # the provisional charge must shrink what upstream merging later absorbs
+    assert gap_with < gap_without
+    # note: the paper's claim is about *repair cost*; the end-to-end skew
+    # stays within the constraint either way, so only sanity-check it
+    assert reports["Eq.(7) estimate"].skew_ps <= 80.0

@@ -1,0 +1,81 @@
+"""Extension bench: routability of clock topologies (paper Section 1).
+
+Not a numbered table — this quantifies the introduction's argument that
+the routing topology's character matters to the routing stage: "the
+proximity of the clock tree's routing topology to the outcome of the
+routing stage improves its reliability and robustness".  Each topology
+routes the same sink sets onto the same congestion grid (with a uniform
+background demand standing in for signal routing); the table reports mean
+utilisation, peak utilisation and overflow.
+
+Expected shape: the Steiner-family trees (FLUTE/SALT/CBS) load the grid
+least; the symmetric families (H-tree, GH-tree) most; CBS stays in the
+Steiner group while also controlling skew.
+"""
+
+import random
+
+from repro.core import cbs
+from repro.dme import ElmoreDelay, bst_dme, zst_dme
+from repro.tech import Technology
+from repro.htree import fishbone, ghtree, htree
+from repro.io import format_table
+from repro.routing import RoutingGrid, route_tree
+from repro.rsmt import rsmt
+from repro.salt import salt
+
+from conftest import emit, env_int, random_clock_net
+
+BOX = 100.0
+GRID = dict(nx=16, ny=16, h_capacity=3.0, v_capacity=3.0)
+BACKGROUND = 1.0  # uniform signal-routing demand per edge
+
+
+def run_study(n_nets):
+    builders = {
+        "FLUTE": rsmt,
+        "R-SALT": lambda net: salt(net, eps=0.1),
+        "CBS": lambda net: cbs(net, 10.0,
+                                model=ElmoreDelay(Technology())),
+        "BST": lambda net: bst_dme(net, 10.0,
+                                   model=ElmoreDelay(Technology())),
+        "ZST": zst_dme,
+        "H-tree": htree,
+        "GH-tree": ghtree,
+        "Fishbone": fishbone,
+    }
+    totals = {name: [0.0, 0.0, 0.0] for name in builders}
+    for name, build in builders.items():
+        rng = random.Random(42)
+        for i in range(n_nets):
+            net = random_clock_net(rng, n_pins=40, box=BOX, name=f"r{i}")
+            grid = RoutingGrid(BOX, BOX, **GRID)
+            grid.h_demand += BACKGROUND
+            grid.v_demand += BACKGROUND
+            rep = route_tree(build(net), grid)
+            totals[name][0] += rep.mean_utilization
+            totals[name][1] += rep.max_utilization
+            totals[name][2] += rep.overflow
+    return {
+        name: [v / n_nets for v in vals] for name, vals in totals.items()
+    }
+
+
+def test_routability(once):
+    n_nets = env_int("REPRO_NETS", 20)
+    results = once(run_study, n_nets)
+    rows = [
+        [name, vals[0], vals[1], vals[2]]
+        for name, vals in sorted(results.items(), key=lambda kv: kv[1][0])
+    ]
+    emit("routability", format_table(
+        ["topology", "mean util", "peak util", "overflow"],
+        rows,
+        title=(f"Routability: congestion per topology, {n_nets} nets of "
+               "40 pins, uniform background demand"),
+        precision=3,
+    ))
+    assert results["CBS"][0] < results["H-tree"][0]
+    assert results["FLUTE"][0] <= min(
+        results[k][0] for k in ("H-tree", "GH-tree", "ZST", "BST")
+    )

@@ -1,0 +1,72 @@
+"""Extension bench: runtime scaling of the three flows.
+
+Tables 6/7 report a single runtime per design; this bench isolates how
+each flow's runtime grows with the flip-flop count on one placement
+family, which is what a user sizing a run actually needs.  Expected
+shape: all three are near-linear in sinks (clustering dominates); the
+commercial-like flow carries a constant factor of several x; the
+OpenROAD-like flow is cheapest.
+"""
+
+import random
+import time
+
+from repro.baselines import commercial_like_cts, openroad_like_cts
+from repro.cts import FlowConfig, HierarchicalCTS
+from repro.geometry import Point
+from repro.io import format_table
+from repro.netlist import Sink
+from repro.tech import Technology
+
+from conftest import emit
+
+SIZES = (200, 500, 1000, 2000)
+
+
+def make_sinks(n, seed=0):
+    rng = random.Random(seed)
+    side = 40.0 * (n ** 0.5) / 10.0 + 60.0
+    return [
+        Sink(f"ff{i}", Point(rng.uniform(0, side), rng.uniform(0, side)),
+             cap=1.0)
+        for i in range(n)
+    ], side
+
+
+def run_scaling():
+    tech = Technology()
+    rows = []
+    for n in SIZES:
+        sinks, side = make_sinks(n)
+        source = Point(side / 2, side / 2)
+        t0 = time.perf_counter()
+        HierarchicalCTS(tech=tech, config=FlowConfig(sa_iterations=100)).run(
+            sinks, source
+        )
+        t_ours = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        commercial_like_cts(sinks, source, tech, sa_iterations=500)
+        t_com = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        openroad_like_cts(sinks, source, tech)
+        t_or = time.perf_counter() - t0
+        rows.append([n, t_ours, t_com, t_or])
+    return rows
+
+
+def test_scaling(once):
+    rows = once(run_scaling)
+    emit("scaling", format_table(
+        ["#FFs", "Ours (s)", "Com. (s)", "OR. (s)"],
+        rows,
+        title="Runtime scaling (uniform placements)",
+        precision=2,
+    ))
+    # commercial is consistently the slowest flow
+    for n, t_ours, t_com, t_or in rows:
+        assert t_com > t_ours
+    # near-linear: 10x sinks must cost far less than 100x time
+    first, last = rows[0], rows[-1]
+    growth = last[1] / max(first[1], 1e-9)
+    size_growth = last[0] / first[0]
+    assert growth < size_growth ** 2

@@ -1,0 +1,93 @@
+"""Reproduce paper Table 1 and Fig. 1: one net, seven routing topologies.
+
+Table 1 compares Max/Min PL, total WL, mean PL and the SLLT metrics
+(alpha, beta, gamma) of H-tree, GH-tree, ZST, BST, FLUTE, R-SALT and CBS
+on a single example net.  Fig. 1 is the geometry of those trees; each
+tree's rectilinear segments are dumped alongside the table.
+
+Expected shape (paper): skew-tree methods (H/GH/ZST/BST) control gamma but
+pay in alpha/beta; FLUTE achieves beta = 1 and R-SALT alpha ~= 1, neither
+controlling gamma; CBS lands near Steiner-tree alpha/beta while keeping
+gamma bounded.
+"""
+
+import random
+
+from repro.core import cbs, evaluate_tree
+from repro.dme import bst_dme, zst_dme
+from repro.htree import ghtree, htree
+from repro.io import format_table
+from repro.netlist import rectilinear_segments
+from repro.rsmt import rsmt, rsmt_wirelength
+from repro.salt import salt
+
+from conftest import annulus_net, emit
+
+#: Linear-model skew bound (um) for the skew-controlled rows, ~20% of the
+#: example net's mean path length, matching the paper's example where the
+#: BST row shows MaxPL - MinPL = 2 on a mean PL of ~9.
+SKEW_BOUND_UM = 12.0
+
+
+def build_all(net):
+    return {
+        "H-tree": (htree(net), True),
+        "GH-tree": (ghtree(net), True),
+        "ZST": (zst_dme(net), True),
+        "BST": (bst_dme(net, SKEW_BOUND_UM), True),
+        "FLUTE": (rsmt(net, one_steiner_limit=16), False),
+        "R-SALT": (salt(net, eps=0.1), False),
+        "CBS": (cbs(net, SKEW_BOUND_UM), True),
+    }
+
+
+def test_table1_fig1(once):
+    rng = random.Random(2024)
+    net = annulus_net(rng, n_pins=16, name="fig1")
+
+    trees = once(build_all, net)
+    denom = rsmt_wirelength(net)
+    rows = []
+    fig1_lines = []
+    for name, (tree, skew_control) in trees.items():
+        m = evaluate_tree(tree, net, rsmt_wl=denom)
+        rows.append([
+            name, m.max_pl, m.min_pl, m.total_wl, m.mean_pl,
+            m.alpha, m.beta, m.gamma, m.mean_score,
+            "yes" if skew_control else "no",
+        ])
+        fig1_lines.append(f"# {name}")
+        for a, b in rectilinear_segments(tree):
+            fig1_lines.append(
+                f"segment {a.x:.2f} {a.y:.2f} {b.x:.2f} {b.y:.2f}"
+            )
+        from repro.viz import save_svg
+
+        from conftest import RESULTS_DIR
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        save_svg(tree, RESULTS_DIR / f"fig1_{name.lower().replace('-', '')}.svg",
+                 title=f"Fig. 1: {name}")
+
+    emit("table1", format_table(
+        ["Algorithm", "MaxPL", "MinPL", "TotalWL", "MeanPL",
+         "alpha", "beta", "gamma", "Mean", "SkewCtl"],
+        rows,
+        title=("Table 1: routing topologies on one 16-pin net "
+               f"(skew bound {SKEW_BOUND_UM} um, linear model)"),
+    ))
+    emit("fig1_geometry", "\n".join(fig1_lines))
+
+    # shape assertions against the paper's qualitative claims
+    by_name = {r[0]: r for r in rows}
+    gamma = {n: r[7] for n, r in by_name.items()}
+    alpha = {n: r[5] for n, r in by_name.items()}
+    beta = {n: r[6] for n, r in by_name.items()}
+    assert beta["FLUTE"] == min(beta.values())          # FLUTE: lightest
+    assert alpha["R-SALT"] <= 1.1 + 1e-9                # R-SALT: shallowest
+    assert gamma["ZST"] <= 1.0 + 1e-9                   # ZST: zero skew
+    # CBS: controls skewness better than the Steiner methods...
+    assert gamma["CBS"] <= min(gamma["FLUTE"], gamma["R-SALT"]) + 1e-9
+    # ...while being shallower and lighter than the classic skew trees
+    assert alpha["CBS"] <= min(alpha["H-tree"], alpha["ZST"]) + 1e-9
+    assert beta["CBS"] <= min(beta["H-tree"], beta["ZST"]) + 1e-9

@@ -1,0 +1,74 @@
+"""Reproduce paper Table 2: R-SALT vs CBS wirelength.
+
+Columns: Step 1 merge topology (GreedyDist / GreedyMerge / BiPartition),
+three skew bounds (80 / 10 / 5 ps).  Cells: mean total wirelength (um)
+over random nets in a 75 um box with 10-40 load pins (paper: 10 000 nets
+per cell; default here 60 — set REPRO_NETS to scale up).
+
+Expected shape: CBS at or below R-SALT at the relaxed and moderate bounds,
+converging toward parity as the bound tightens (the paper shows 2.7% ->
+~0% reductions).
+"""
+
+import random
+
+from repro.core import cbs
+from repro.dme import ElmoreDelay
+from repro.io import format_table
+from repro.salt import salt
+from repro.tech import Technology
+
+from conftest import emit, env_int, random_clock_net
+
+SKEW_BOUNDS_PS = (80.0, 10.0, 5.0)
+TOPOLOGIES = ("greedy_dist", "greedy_merge", "bi_partition")
+#: The paper's R-SALT baseline is characterised at alpha = 1.00 (its
+#: Table 1 row), i.e. the shortest-path configuration: eps = 0.
+RSALT_EPS = 0.0
+
+
+def run_cells(n_nets: int):
+    tech = Technology()
+    results = {}
+    for topology in TOPOLOGIES:
+        for bound in SKEW_BOUNDS_PS:
+            rng = random.Random(hash((topology, bound)) & 0xFFFF)
+            rsalt_wl = cbs_wl = 0.0
+            for i in range(n_nets):
+                net = random_clock_net(rng, name=f"t2_{i}")
+                rsalt_wl += salt(net, RSALT_EPS).wirelength()
+                cbs_wl += cbs(
+                    net, bound, model=ElmoreDelay(tech), topology=topology
+                ).wirelength()
+            results[(topology, bound)] = (rsalt_wl / n_nets, cbs_wl / n_nets)
+    return results
+
+
+def test_table2(once):
+    n_nets = env_int("REPRO_NETS", 60)
+    results = once(run_cells, n_nets)
+
+    header = ["Skew(ps)"]
+    for topology in TOPOLOGIES:
+        header += [f"{topology}:R-SALT", f"{topology}:CBS", "Reduce%"]
+    rows = []
+    for bound in SKEW_BOUNDS_PS:
+        row = [f"{bound:g}"]
+        for topology in TOPOLOGIES:
+            rsalt, cbs_wl = results[(topology, bound)]
+            row += [rsalt, cbs_wl, 100.0 * (rsalt - cbs_wl) / rsalt]
+        rows.append(row)
+    emit("table2", format_table(
+        header, rows,
+        title=(f"Table 2: wirelength (um), R-SALT vs CBS, {n_nets} nets "
+               "per cell"),
+        precision=1,
+    ))
+
+    # shape: CBS within a few percent of R-SALT everywhere, and the
+    # relaxed bound no worse than the stringent one
+    for topology in TOPOLOGIES:
+        relaxed = results[(topology, 80.0)]
+        stringent = results[(topology, 5.0)]
+        assert relaxed[1] <= relaxed[0] * 1.10
+        assert relaxed[1] <= stringent[1] * 1.05

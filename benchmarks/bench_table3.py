@@ -1,0 +1,77 @@
+"""Reproduce paper Table 3: BST-DME vs CBS on wirelength, cap, wire delay.
+
+Same workload as Table 2 (random 75 um nets, 10-40 pins), three skew
+bounds.  Wire delay and capacitance come from the Elmore engine on the
+unbuffered trees, as in the paper's single-net study.
+
+Expected shape (paper): CBS reduces wirelength by ~16%, cap by ~13% and
+wire delay by ~20-27% at every bound; BST-DME's wirelength grows as the
+bound tightens.
+"""
+
+import random
+
+from repro.core import cbs
+from repro.dme import ElmoreDelay, bst_dme
+from repro.io import format_table
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+from conftest import emit, env_int, random_clock_net
+
+SKEW_BOUNDS_PS = (80.0, 10.0, 5.0)
+
+
+def run_cells(n_nets: int):
+    tech = Technology()
+    analyzer = ElmoreAnalyzer(tech)
+    cells = {}
+    for bound in SKEW_BOUNDS_PS:
+        rng = random.Random(int(bound) * 7919)
+        acc = {"bst": [0.0, 0.0, 0.0], "cbs": [0.0, 0.0, 0.0]}
+        for i in range(n_nets):
+            net = random_clock_net(rng, name=f"t3_{i}")
+            model = ElmoreDelay(tech)
+            for key, tree in (
+                ("bst", bst_dme(net, bound, model=model)),
+                ("cbs", cbs(net, bound, model=model)),
+            ):
+                rep = analyzer.analyze(tree)
+                assert rep.skew <= bound + 1e-6, (key, bound, rep.skew)
+                acc[key][0] += tree.wirelength()
+                acc[key][1] += rep.total_cap
+                acc[key][2] += rep.latency
+        cells[bound] = {
+            key: [v / n_nets for v in vals] for key, vals in acc.items()
+        }
+    return cells
+
+
+def test_table3(once):
+    n_nets = env_int("REPRO_NETS", 60)
+    cells = once(run_cells, n_nets)
+
+    rows = []
+    for metric_idx, metric in enumerate(("Wirelength(um)", "Cap(fF)",
+                                         "WireDelay(ps)")):
+        for key in ("bst", "cbs"):
+            row = [f"{metric}:{'BST-DME' if key == 'bst' else 'CBS'}"]
+            row += [cells[b][key][metric_idx] for b in SKEW_BOUNDS_PS]
+            rows.append(row)
+        reduce_row = [f"{metric}:Reduce%"]
+        for b in SKEW_BOUNDS_PS:
+            bst_v = cells[b]["bst"][metric_idx]
+            cbs_v = cells[b]["cbs"][metric_idx]
+            reduce_row.append(100.0 * (bst_v - cbs_v) / bst_v)
+        rows.append(reduce_row)
+    emit("table3", format_table(
+        ["Metric"] + [f"skew={b:g}ps" for b in SKEW_BOUNDS_PS],
+        rows,
+        title=(f"Table 3: BST-DME vs CBS over {n_nets} nets per bound"),
+        precision=1,
+    ))
+
+    # shape: CBS wins every metric at every bound
+    for b in SKEW_BOUNDS_PS:
+        for metric_idx in range(3):
+            assert cells[b]["cbs"][metric_idx] < cells[b]["bst"][metric_idx]

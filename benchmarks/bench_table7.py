@@ -1,0 +1,39 @@
+"""Reproduce paper Table 7: the four internal ysyx designs.
+
+Same protocol as Table 6 on the high-utilisation ysyx_0..ysyx_3 designs
+(18k-27k flip-flops at paper size; default REPRO_SCALE 0.12 keeps the
+bench minutes-scale — set REPRO_SCALE=1.0 to match the paper).
+
+Expected shape (paper Table 7 Avg. row): Ours/Com. close on latency,
+buffers, area and WL; commercial wins skew (0.44x); OpenROAD worst on
+latency (1.45x), skew (2.24x) and buffer area (3.08x) but *lowest* cap
+(0.65x — many large buffers on light RSMT nets).
+"""
+
+from repro.designs.catalog import YSYX_DESIGNS
+
+from conftest import emit, env_float
+from bench_table6 import render, run_design
+
+
+def run_all(scale):
+    from repro.tech import Technology
+
+    tech = Technology()
+    return {name: run_design(name, scale, tech) for name in YSYX_DESIGNS}
+
+
+def test_table7(once):
+    scale = env_float("REPRO_SCALE", 0.12)
+    results = once(run_all, scale)
+    avg = render(
+        results,
+        f"Table 7: four ysyx designs at scale {scale}",
+        "table7",
+    )
+    by_metric = {row[0]: row for row in avg}
+    # shape: OpenROAD worst latency; area much larger than ours; buffer
+    # counts of ours and commercial within a few percent of each other
+    assert by_metric["latency(ps)"][3] > by_metric["latency(ps)"][1]
+    assert by_metric["area(um2)"][3] > by_metric["area(um2)"][1]
+    assert abs(by_metric["#buf"][2] - by_metric["#buf"][1]) < 0.1

@@ -1,0 +1,104 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each bench regenerates one table or figure of the paper and both prints it
+and writes it to ``benchmarks/results/``.  Environment knobs:
+
+* ``REPRO_NETS``  — random nets per Table 2/3 cell (default 60; the paper
+  uses 10 000);
+* ``REPRO_SCALE`` — flip-flop scale factor for the Table 6/7 full-flow
+  designs (default 0.3 for Table 6 and 0.12 for Table 7; 1.0 = paper size).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import ClockNet, Sink
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+
+
+def random_clock_net(
+    rng: random.Random,
+    n_pins: int | None = None,
+    box: float = 75.0,
+    name: str = "net",
+) -> ClockNet:
+    """A net in the paper's Table 2/3 style: 75 um box, 10-40 load pins."""
+    if n_pins is None:
+        n_pins = rng.randint(10, 40)
+    pts: list[Point] = []
+    while len(pts) < n_pins:
+        p = Point(rng.uniform(0, box), rng.uniform(0, box))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet(
+        name,
+        Point(rng.uniform(0, box), rng.uniform(0, box)),
+        [Sink(f"{name}_s{i}", p, cap=1.0) for i, p in enumerate(pts)],
+    )
+
+
+def annulus_net(
+    rng: random.Random,
+    n_pins: int,
+    r_min: float = 25.0,
+    r_max: float = 40.0,
+    center: float = 37.5,
+    name: str = "net",
+) -> ClockNet:
+    """A low-dispersion net in the style of the paper's Fig. 1 example:
+    pins at similar Manhattan distances from the source (max MD / mean MD
+    close to 1), where shallowness and skewness can coexist."""
+    source = Point(center, center)
+    pts: list[Point] = []
+    while len(pts) < n_pins:
+        r = rng.uniform(r_min, r_max)
+        t = rng.uniform(0, 4)  # position along the Manhattan circle
+        quadrant, frac = int(t), t - int(t)
+        dx, dy = frac * r, (1 - frac) * r
+        if quadrant == 1:
+            dx, dy = -dx, dy
+        elif quadrant == 2:
+            dx, dy = -dx, -dy
+        elif quadrant == 3:
+            dx, dy = dx, -dy
+        p = Point(source.x + dx, source.y + dy)
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet(
+        name, source,
+        [Sink(f"{name}_s{i}", p, cap=1.0) for i, p in enumerate(pts)],
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (full flows are too heavy for
+    repeated timing rounds) while still recording its runtime."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

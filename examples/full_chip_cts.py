@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Full-chip hierarchical CTS on a Table 4 benchmark design.
+
+Generates the synthetic s38584 placement (1248 flip-flops), runs the
+paper's hierarchical flow and both baselines, and prints a Table 6 style
+row for each.  Use ``--design`` for other catalog entries and ``--scale``
+to shrink large ones.
+
+Run:  python examples/full_chip_cts.py [--design salsa20] [--scale 0.5]
+"""
+
+import argparse
+
+from repro.baselines import commercial_like_cts, openroad_like_cts
+from repro.cts import HierarchicalCTS
+from repro.cts.evaluation import evaluate_result
+from repro.designs import design_names, load_design
+from repro.io import format_table
+from repro.tech import Technology
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="s38584", choices=design_names())
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="flip-flop count scale factor in (0, 1]")
+    args = parser.parse_args()
+
+    tech = Technology()
+    design = load_design(args.design, scale=args.scale)
+    print(
+        f"{args.design}: {len(design.sinks)} flip-flops on a "
+        f"{design.die_side:.0f} x {design.die_side:.0f} um die"
+    )
+
+    reports = {}
+    result = HierarchicalCTS(tech=tech).run(design.sinks, design.source)
+    reports["Ours (SLLT/CBS)"] = evaluate_result(result, tech)
+    for stats in result.levels:
+        print(
+            f"  level {stats.level}: {stats.num_sinks} nodes -> "
+            f"{stats.num_clusters} clusters, SA cost "
+            f"{stats.sa_cost_before:.0f} -> {stats.sa_cost_after:.0f}"
+        )
+    com = commercial_like_cts(design.sinks, design.source, tech)
+    reports["Commercial-like"] = evaluate_result(com, tech)
+    orr = openroad_like_cts(design.sinks, design.source, tech)
+    reports["OpenROAD-like"] = evaluate_result(orr, tech)
+
+    rows = [
+        [name, r.latency_ps, r.skew_ps, r.num_buffers, r.buffer_area_um2,
+         r.clock_cap_ff, r.clock_wl_um, r.runtime_s]
+        for name, r in reports.items()
+    ]
+    print()
+    print(format_table(
+        ["flow", "latency(ps)", "skew(ps)", "#buf", "area(um2)",
+         "cap(fF)", "WL(um)", "runtime(s)"],
+        rows,
+        title="Table 6 style comparison",
+    ))
+
+
+if __name__ == "__main__":
+    main()

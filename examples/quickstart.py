@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build an SLLT with CBS and inspect its metrics.
+
+Creates a random 24-sink clock net, routes it four ways (FLUTE-equivalent
+RSMT, R-SALT, BST-DME and the paper's CBS), and prints each tree's
+shallowness / lightness / skewness — the Table 1 style comparison — plus
+Elmore timing for the CBS tree.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import cbs, evaluate_tree
+from repro.dme import ElmoreDelay, bst_dme
+from repro.geometry import Point
+from repro.io import format_table
+from repro.netlist import ClockNet, Sink
+from repro.rsmt import rsmt, rsmt_wirelength
+from repro.salt import salt
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def main() -> None:
+    rng = random.Random(42)
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 75), rng.uniform(0, 75)), cap=1.0)
+        for i in range(24)
+    ]
+    net = ClockNet("demo", Point(rng.uniform(0, 75), rng.uniform(0, 75)), sinks)
+    skew_bound_um = 20.0  # linear-model bound, um of path length
+
+    trees = {
+        "FLUTE (RSMT)": rsmt(net),
+        "R-SALT (eps=0.1)": salt(net, eps=0.1),
+        "BST-DME": bst_dme(net, skew_bound_um),
+        "CBS (ours)": cbs(net, skew_bound_um),
+    }
+
+    denom = rsmt_wirelength(net)
+    rows = []
+    for name, tree in trees.items():
+        m = evaluate_tree(tree, net, rsmt_wl=denom)
+        rows.append([
+            name, m.total_wl, m.max_pl, m.pl_skew,
+            m.alpha, m.beta, m.gamma,
+        ])
+    print(format_table(
+        ["algorithm", "WL(um)", "maxPL", "PLskew", "alpha", "beta", "gamma"],
+        rows,
+        title=f"24-sink net, skew bound {skew_bound_um} um (linear model)",
+    ))
+
+    # Elmore timing of a CBS tree built directly in the ps domain
+    tech = Technology()
+    elmore_tree = cbs(net, skew_bound=10.0, model=ElmoreDelay(tech))
+    report = ElmoreAnalyzer(tech).analyze(elmore_tree)
+    print(
+        f"\nCBS under Elmore (10 ps bound): latency {report.latency:.2f} ps, "
+        f"skew {report.skew:.2f} ps, cap {report.total_cap:.1f} fF, "
+        f"wirelength {report.wirelength:.1f} um"
+    )
+
+
+if __name__ == "__main__":
+    main()

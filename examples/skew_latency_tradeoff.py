@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Sweep the skew bound and watch the skew/latency/wire trade-off.
+
+The SLLT thesis: between the skew-tree extreme (ZST: perfect skew, heavy
+and deep) and the Steiner-tree extreme (RSMT/SALT: light and shallow, no
+skew control) lies a family of trees parameterised by the skew bound.
+This example sweeps the bound for BST-DME and CBS on one net and prints
+how wirelength, maximum latency and achieved skew move — the Table 2/3
+mechanics in miniature — plus the Theorem 2.3 dispersion diagnostic.
+
+Run:  python examples/skew_latency_tradeoff.py
+"""
+
+import random
+
+from repro.core import cbs, dispersion, evaluate_tree, shallow_skew_exclusive
+from repro.dme import ElmoreDelay, bst_dme, zst_dme
+from repro.geometry import Point
+from repro.io import format_table
+from repro.netlist import ClockNet, Sink
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def main() -> None:
+    rng = random.Random(7)
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 75), rng.uniform(0, 75)), cap=1.0)
+        for i in range(30)
+    ]
+    net = ClockNet("sweep", Point(37.5, 37.5), sinks)
+    tech = Technology()
+    analyzer = ElmoreAnalyzer(tech)
+
+    eps = 0.1
+    print(f"dispersion(net) = {dispersion(net):.3f}; "
+          f"alpha<= {1+eps} and gamma <= {1+eps} simultaneously "
+          f"{'impossible' if shallow_skew_exclusive(net, eps) else 'possible'} "
+          f"(Theorem 2.3)\n")
+
+    rows = []
+    zst = zst_dme(net, model=ElmoreDelay(tech))
+    rep = analyzer.analyze(zst)
+    rows.append(["ZST-DME", "0 (exact)", rep.latency, rep.skew,
+                 zst.wirelength()])
+    for bound in (2.0, 5.0, 10.0, 20.0, 80.0):
+        for name, build in (("BST-DME", bst_dme), ("CBS", cbs)):
+            tree = build(net, bound, model=ElmoreDelay(tech))
+            rep = analyzer.analyze(tree)
+            rows.append([name, f"{bound:g}", rep.latency, rep.skew,
+                         tree.wirelength()])
+    print(format_table(
+        ["algorithm", "bound(ps)", "latency(ps)", "skew(ps)", "WL(um)"],
+        rows,
+        title="Skew bound sweep (Elmore model, 30-sink net)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — Skew-Latency-Load Tree clock tree synthesis (DAC'24 reproduction).
+
+Headline API (see README.md for the architecture map):
+
+* :func:`repro.core.cbs` — the paper's SLLT construction (CBS);
+* :func:`repro.core.evaluate_tree` — shallowness / lightness / skewness;
+* :class:`repro.cts.HierarchicalCTS` — the full-chip hierarchical flow;
+* :mod:`repro.dme` — ZST / BST / UST deferred-merge embedding;
+* :mod:`repro.salt`, :mod:`repro.rsmt`, :mod:`repro.htree` — the tree
+  construction substrates;
+* :mod:`repro.designs` — the Table 4 benchmark catalog.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Baseline CTS flows standing in for the paper's comparison tools.
+
+* :mod:`openroad_like` — a TritonCTS-style flow: sink clustering, an
+  H-tree trunk over cluster taps, a buffer at every trunk branch.  This
+  reproduces OpenROAD's published architecture and hence its signature in
+  the paper's Tables 6-7: highest latency and skew (H-trees over-lengthen
+  paths and leaf clusters are unbalanced), many large buffers;
+* :mod:`commercial_like` — a quality-first flow standing in for the
+  commercial P&R tool: per-net tightened skew targets, several candidate
+  topologies per net with the best kept, exact buffer delays and heavy SA
+  — best skew, slightly worse latency/buffers/cap than CBS, and an order
+  of magnitude more runtime.
+
+Neither is a re-implementation of a specific proprietary code base; each
+is engineered from the published algorithm family to occupy the same
+quality corner (see DESIGN.md).
+"""
+
+from repro.baselines.openroad_like import openroad_like_cts
+from repro.baselines.commercial_like import commercial_like_cts
+
+__all__ = ["commercial_like_cts", "openroad_like_cts"]

@@ -1,0 +1,89 @@
+"""Commercial-tool-style baseline: quality first, runtime last.
+
+Stands in for the commercial P&R tool of the paper's evaluation.  It is
+the same hierarchical architecture as :class:`repro.cts.framework.
+HierarchicalCTS` but tuned the way a signoff tool behaves:
+
+* per-net skew targets tightened well below the constraint (the
+  commercial column's skew is ~0.4x of CBS's in Table 7);
+* several candidate merge topologies routed per net, keeping the one
+  with the best (skew, wirelength) — quality bought with runtime;
+* exact Eq. (6) buffer delays instead of the Eq. (7) estimate;
+* a much longer simulated-annealing refinement.
+
+Expected signature relative to the paper's "Ours": slightly higher
+latency and buffer count, noticeably better skew, similar wirelength,
+and an order of magnitude more runtime.
+"""
+
+from __future__ import annotations
+
+from repro.core.cbs import cbs
+from repro.cts.constraints import Constraints, TABLE5
+from repro.cts.framework import CTSResult, FlowConfig, HierarchicalCTS
+from repro.dme.dme import bst_dme
+from repro.geometry import Point
+from repro.netlist.sink import Sink
+from repro.tech.buffer_library import BufferLibrary, default_library
+from repro.tech.technology import Technology
+from repro.timing.elmore import ElmoreAnalyzer
+
+#: Internal skew target as a fraction of the constraint.
+SKEW_TIGHTENING = 0.08
+
+#: Candidate merge topologies tried per net (best kept).
+CANDIDATE_TOPOLOGIES = ("greedy_dist", "greedy_merge", "bi_partition",
+                        "bi_cluster")
+
+
+def commercial_like_cts(
+    sinks: list[Sink],
+    source: Point,
+    tech: Technology | None = None,
+    library: BufferLibrary | None = None,
+    constraints: Constraints = TABLE5,
+    seed: int = 0,
+    sa_iterations: int = 4000,
+) -> CTSResult:
+    """Run the commercial-style baseline."""
+    tech = tech or Technology()
+    library = library or default_library()
+    tight_bound = constraints.skew_bound * SKEW_TIGHTENING
+
+    analyzer = ElmoreAnalyzer(tech)
+
+    def router(net, bound, model):
+        # route every candidate topology at the tightened bound — BSTs
+        # plus CBS attempts at several relaxation strengths — then sign
+        # off each candidate with a full Elmore analysis and keep the
+        # lightest one meeting the tightened skew target (falling back to
+        # the best-skew candidate if none does); this thoroughness is
+        # where the commercial runtime goes
+        candidates = [
+            bst_dme(net, tight_bound, model=model, topology=topology)
+            for topology in CANDIDATE_TOPOLOGIES
+        ]
+        for eps in (0.05, 0.15, 0.3):
+            candidates.append(cbs(net, tight_bound, eps=eps, model=model))
+        scored = []
+        for tree in candidates:
+            report = analyzer.analyze(tree)
+            scored.append((report.skew, tree.wirelength(), tree))
+        feasible = [s for s in scored if s[0] <= tight_bound + 1e-9]
+        if feasible:
+            return min(feasible, key=lambda s: s[1])[2]
+        return min(scored, key=lambda s: (s[0], s[1]))[2]
+
+    flow = HierarchicalCTS(
+        tech=tech,
+        library=library,
+        constraints=constraints,
+        config=FlowConfig(
+            router=router,
+            use_sa=True,
+            sa_iterations=sa_iterations,
+            use_insertion_estimate=False,  # signoff tools time exactly
+            seed=seed,
+        ),
+    )
+    return flow.run(sinks, source)

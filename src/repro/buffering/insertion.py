@@ -1,0 +1,121 @@
+"""Buffer insertion on routed trees.
+
+Two operations the hierarchical flow composes:
+
+* :func:`place_driver` — size and attach the net's driver buffer at the
+  tree root (the cluster tap).  The driver is what the next level up sees
+  as a sink;
+* :func:`split_long_edges` — repeater chains on edges whose span exceeds
+  a maximum (the Table 5 wirelength constraint, or the critical
+  wirelength of the driving buffer).  Repeaters are placed at even
+  spacing along each edge's L-shaped route; edges with detour wire are
+  left alone, since snaking has no canonical geometry to place cells on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point
+from repro.netlist.tree import RoutedTree
+from repro.tech.buffer_library import BufferLibrary, BufferType
+from repro.tech.technology import Technology
+from repro.buffering.estimation import driver_for_load
+
+
+def place_driver(
+    tree: RoutedTree,
+    lib: BufferLibrary,
+    tech: Technology,
+    slew_in: float = 10.0,
+    headroom: float = 1.2,
+) -> BufferType:
+    """Attach the minimum-area adequate driver at the tree root.
+
+    The weakest buffer whose drive limit covers the load (with 20%
+    headroom by default) is used: clock distribution pays for oversized
+    drivers twice, in area and in the input cap the level above must
+    drive, so delay-optimal sizing is reserved for explicit calls to
+    :func:`repro.buffering.estimation.driver_for_load`.
+    """
+    load = _subtree_cap(tree, tree.root, tech)
+    driver = lib.smallest_driving(load * headroom)
+    tree.set_buffer(tree.root, driver)
+    return driver
+
+
+def _subtree_cap(tree: RoutedTree, nid: int, tech: Technology) -> float:
+    """Capacitance below ``nid``, cutting at buffers (their input cap)."""
+    total = 0.0
+    stack = [nid]
+    while stack:
+        cur = stack.pop()
+        node = tree.node(cur)
+        if cur != nid and node.is_buffer:
+            total += node.buffer.input_cap
+            continue
+        if node.sink is not None:
+            total += node.sink.cap
+        for child in node.children:
+            total += tech.wire_cap(tree.edge_length(child))
+            stack.append(child)
+    return total
+
+
+def split_long_edges(
+    tree: RoutedTree,
+    lib: BufferLibrary,
+    tech: Technology,
+    max_span: float,
+    slew_in: float = 10.0,
+) -> int:
+    """Insert repeater buffers so no buffer-free edge span exceeds
+    ``max_span``.  Returns the number of buffers inserted."""
+    if max_span <= 0:
+        raise ValueError(f"max_span must be positive, got {max_span}")
+    inserted = 0
+    for nid in list(tree.preorder()):
+        node = tree.node(nid)
+        if node.parent is None or node.detour > 1e-9:
+            continue
+        length = tree.edge_length(nid)
+        if length <= max_span + 1e-9:
+            continue
+        segments = int(math.ceil(length / max_span))
+        parent_id = node.parent
+        parent_loc = tree.node(parent_id).location
+        downstream = _subtree_cap(tree, nid, tech)
+        # place repeaters at even fractions along the L-route parent->node
+        current_parent = parent_id
+        for i in range(1, segments):
+            frac = i / segments
+            loc = _along_l_route(parent_loc, node.location, frac)
+            rep_id = tree.add_child(current_parent, loc)
+            stage_cap = tech.wire_cap(length / segments) + (
+                downstream if i == segments - 1 else 0.0
+            )
+            tree.set_buffer(rep_id, driver_for_load(lib, stage_cap, slew_in))
+            current_parent = rep_id
+            inserted += 1
+        if current_parent != parent_id:
+            tree.reparent(nid, current_parent)
+    if inserted:
+        tree.validate()
+    return inserted
+
+
+def _along_l_route(a: Point, b: Point, frac: float) -> Point:
+    """Point at ``frac`` of the way along the L-path a -> corner -> b,
+    with the corner at (a.x, b.y)."""
+    leg1 = abs(b.y - a.y)
+    leg2 = abs(b.x - a.x)
+    total = leg1 + leg2
+    if total <= 0:
+        return a
+    walked = frac * total
+    if walked <= leg1:
+        step = walked if b.y >= a.y else -walked
+        return Point(a.x, a.y + step)
+    rest = walked - leg1
+    step = rest if b.x >= a.x else -rest
+    return Point(a.x + step, b.y)

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``route``   — route one clock net (from a net file) with a chosen
+  algorithm; print SLLT metrics and Elmore timing; optionally write the
+  tree (JSON) and a picture (SVG);
+* ``flow``    — run a full-chip flow on a catalog design and print the
+  Table 6 style row;
+* ``designs`` — list the benchmark catalog;
+* ``gallery`` — render every topology algorithm on one net into SVGs
+  (the Fig. 1 gallery).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import commercial_like_cts, openroad_like_cts
+from repro.core import cbs, evaluate_tree
+from repro.core.cbs import DEFAULT_EPS
+from repro.cts import HierarchicalCTS
+from repro.cts.evaluation import evaluate_result
+from repro.designs import design_names, load_design
+from repro.dme import ElmoreDelay, bst_dme, zst_dme
+from repro.htree import fishbone, ghtree, htree
+from repro.io import format_table, read_net
+from repro.io.treefile import write_tree
+from repro.rsmt import rsmt
+from repro.salt import salt
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+ALGORITHMS = ("cbs", "bst", "zst", "salt", "rsmt", "htree", "ghtree",
+              "fishbone")
+FLOWS = ("ours", "commercial", "openroad")
+
+
+def _route_tree(net, algorithm, skew_bound, eps, model, tech):
+    if algorithm == "cbs":
+        return cbs(net, skew_bound, eps=eps, model=model)
+    if algorithm == "bst":
+        return bst_dme(net, skew_bound, model=model)
+    if algorithm == "zst":
+        return zst_dme(net, model=model)
+    if algorithm == "salt":
+        return salt(net, eps=eps)
+    if algorithm == "rsmt":
+        return rsmt(net)
+    if algorithm == "htree":
+        return htree(net)
+    if algorithm == "ghtree":
+        return ghtree(net)
+    if algorithm == "fishbone":
+        return fishbone(net)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def cmd_route(args) -> int:
+    tech = Technology()
+    net = read_net(args.netfile)
+    model = ElmoreDelay(tech) if args.model == "elmore" else None
+    tree = _route_tree(net, args.algorithm, args.skew_bound, args.eps,
+                       model, tech)
+    m = evaluate_tree(tree, net)
+    report = ElmoreAnalyzer(tech).analyze(tree)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["algorithm", args.algorithm],
+            ["sinks", net.fanout],
+            ["wirelength (um)", m.total_wl],
+            ["max PL (um)", m.max_pl],
+            ["PL skew (um)", m.pl_skew],
+            ["alpha (shallowness)", m.alpha],
+            ["beta (lightness)", m.beta],
+            ["gamma (skewness)", m.gamma],
+            ["Elmore latency (ps)", report.latency],
+            ["Elmore skew (ps)", report.skew],
+            ["clock cap (fF)", report.total_cap],
+        ],
+        title=f"net {net.name!r}",
+    ))
+    if args.save_tree:
+        write_tree(tree, args.save_tree)
+        print(f"tree written to {args.save_tree}")
+    if args.svg:
+        from repro.viz import save_svg
+
+        save_svg(tree, args.svg, title=f"{net.name}: {args.algorithm}")
+        print(f"picture written to {args.svg}")
+    if args.spef:
+        from repro.io.spef import write_spef
+
+        write_spef(tree, tech, args.spef, design=net.name)
+        print(f"parasitics written to {args.spef}")
+    return 0
+
+
+def cmd_flow(args) -> int:
+    tech = Technology()
+    design = load_design(args.design, scale=args.scale)
+    print(f"{args.design}: {len(design.sinks)} FFs, "
+          f"die {design.die_side:.0f} um")
+    if args.flow == "ours":
+        result = HierarchicalCTS(tech=tech).run(design.sinks, design.source)
+        rep = evaluate_result(result, tech)
+    elif args.flow == "commercial":
+        result = commercial_like_cts(design.sinks, design.source, tech)
+        rep = evaluate_result(result, tech)
+    else:
+        result = openroad_like_cts(design.sinks, design.source, tech)
+        rep = evaluate_result(result, tech)
+    print(format_table(
+        ["latency(ps)", "skew(ps)", "#buf", "area(um2)", "cap(fF)",
+         "WL(um)", "runtime(s)"],
+        [rep.row()],
+        title=f"flow {args.flow!r}",
+    ))
+    from repro.cts.stats import tree_statistics
+
+    stats = tree_statistics(result.tree, tech)
+    print(
+        f"structure: depth {stats.max_depth}, "
+        f"{stats.max_buffer_levels} buffer levels, "
+        f"max stage load {stats.max_stage_load:.1f} fF, "
+        f"detour wire {stats.detour_fraction * 100:.1f}%"
+    )
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    from repro.designs import TABLE4_SPECS
+
+    rows = [
+        [s.name, s.num_insts, s.num_ffs, s.utilization,
+         round(s.die_side(), 1)]
+        for s in TABLE4_SPECS.values()
+    ]
+    print(format_table(
+        ["design", "#insts", "#FFs", "util", "die(um)"],
+        rows,
+        title="benchmark catalog (paper Table 4)",
+    ))
+    return 0
+
+
+def cmd_gallery(args) -> int:
+    from pathlib import Path
+
+    from repro.viz import save_svg
+
+    net = read_net(args.netfile)
+    tech = Technology()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for algorithm in ALGORITHMS:
+        tree = _route_tree(net, algorithm, args.skew_bound, args.eps,
+                           None, tech)
+        path = out / f"{net.name}_{algorithm}.svg"
+        save_svg(tree, path, title=f"{net.name}: {algorithm}")
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLLT clock tree synthesis (DAC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="route one clock net")
+    p_route.add_argument("netfile")
+    p_route.add_argument("--algorithm", choices=ALGORITHMS, default="cbs")
+    p_route.add_argument("--skew-bound", type=float, default=20.0,
+                         help="um (linear model) or ps (--model elmore)")
+    p_route.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    p_route.add_argument("--model", choices=("linear", "elmore"),
+                         default="linear")
+    p_route.add_argument("--save-tree", help="write the tree as JSON")
+    p_route.add_argument("--svg", help="write a picture")
+    p_route.add_argument("--spef", help="write SPEF parasitics")
+    p_route.set_defaults(func=cmd_route)
+
+    p_flow = sub.add_parser("flow", help="full-chip CTS on a catalog design")
+    p_flow.add_argument("--design", choices=design_names(),
+                        default="s38584")
+    p_flow.add_argument("--scale", type=float, default=1.0)
+    p_flow.add_argument("--flow", choices=FLOWS, default="ours")
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_designs = sub.add_parser("designs", help="list the benchmark catalog")
+    p_designs.set_defaults(func=cmd_designs)
+
+    p_gallery = sub.add_parser("gallery",
+                               help="render all topologies as SVGs")
+    p_gallery.add_argument("netfile")
+    p_gallery.add_argument("--out", default="gallery")
+    p_gallery.add_argument("--skew-bound", type=float, default=20.0)
+    p_gallery.add_argument("--eps", type=float, default=DEFAULT_EPS)
+    p_gallery.set_defaults(func=cmd_gallery)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

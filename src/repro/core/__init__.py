@@ -1,0 +1,27 @@
+"""The paper's core contribution: SLLT metrics and the CBS algorithm.
+
+* :mod:`metrics` — shallowness (alpha), lightness (beta) and the paper's
+  new *skewness* (gamma, Definition 2.1), plus the path-length statistics
+  of Table 1;
+* :mod:`sllt` — the (alpha-bar, beta-bar, gamma-bar)-SLLT predicate
+  (Definition 2.2);
+* :mod:`bounds` — the Theorem 2.3 mutual-exclusion condition between
+  shallowness and skewness;
+* :mod:`cbs` — Concurrent BST and SALT (Section 2.3, Fig. 2), the SLLT
+  construction method.
+"""
+
+from repro.core.metrics import TreeMetrics, evaluate_tree
+from repro.core.sllt import SLLTReport, is_sllt
+from repro.core.bounds import dispersion, shallow_skew_exclusive
+from repro.core.cbs import cbs
+
+__all__ = [
+    "SLLTReport",
+    "TreeMetrics",
+    "cbs",
+    "dispersion",
+    "evaluate_tree",
+    "is_sllt",
+    "shallow_skew_exclusive",
+]

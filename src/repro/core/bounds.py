@@ -1,0 +1,32 @@
+"""Theorem 2.3: shallowness and skewness are mutually exclusive.
+
+Given pins S and a small epsilon, when the *dispersion* of the pin set
+
+    max_i MD(s_i) / mean_i MD(s_i)  >  (1 + eps)^2          (Eq. (4))
+
+no Steiner tree can satisfy alpha <= 1 + eps and gamma <= 1 + eps
+simultaneously.  ``shallow_skew_exclusive`` evaluates the condition;
+``tests/core/test_bounds.py`` additionally verifies the implication on
+constructed trees via hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import manhattan
+from repro.netlist.net import ClockNet
+
+
+def dispersion(net: ClockNet) -> float:
+    """max MD / mean MD over the net's sinks (the LHS of Eq. (4))."""
+    distances = [manhattan(net.source, s.location) for s in net.sinks]
+    mean = sum(distances) / len(distances)
+    if mean <= 1e-12:
+        return 1.0  # all sinks on the source: trivially non-dispersed
+    return max(distances) / mean
+
+
+def shallow_skew_exclusive(net: ClockNet, eps: float) -> bool:
+    """True when Theorem 2.3 forbids alpha <= 1+eps and gamma <= 1+eps."""
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    return dispersion(net) > (1.0 + eps) ** 2

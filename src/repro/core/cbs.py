@@ -1,0 +1,104 @@
+"""Concurrent BST and SALT (CBS) — the paper's SLLT construction method.
+
+The five steps of Fig. 2:
+
+1. BST-DME builds an initial SLLT (skew-legal but deep and heavy);
+2. its topology is extracted, redundant Steiner nodes eliminated;
+3. SALT relaxes that tree, shortening over-long root paths — this breaks
+   skew legality;
+4. the relaxed tree is legalised: binary, load pins as leaves, and its
+   merge topology extracted;
+5. BST-DME re-embeds that fixed topology, restoring the skew bound, and a
+   final length-preserving cleanup removes redundant nodes.
+
+The output therefore combines SALT's shallowness/lightness with BST's skew
+guarantee: an SLLT whose skew never exceeds ``skew_bound`` while its
+latency and load are close to the shallow-light optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dme.dme import bst_dme, bst_dme_on_topology
+from repro.dme.models import DelayModel, LinearDelay
+from repro.dme.repair import repair_skew
+from repro.netlist.net import ClockNet
+from repro.netlist.topology import TopologyNode
+from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import (
+    binarize,
+    extract_topology,
+    prune_redundant_steiner,
+    sinks_to_leaves,
+)
+from repro.salt.refine import refine
+from repro.salt.salt import salt
+
+#: Default SALT relaxation strength for Step 3.  The ablation bench
+#: (benchmarks/bench_ablation_eps.py) sweeps this.  0.4 trades a little
+#: shallowness for lightness close to the R-SALT optimum, matching the
+#: paper's Table 2 where CBS wirelength meets or beats R-SALT's.
+DEFAULT_EPS = 0.4
+
+
+def cbs(
+    net: ClockNet,
+    skew_bound: float,
+    eps: float = DEFAULT_EPS,
+    model: DelayModel | None = None,
+    topology: str | TopologyNode | Callable = "greedy_dist",
+    step5: str = "repair",
+) -> RoutedTree:
+    """Build an SLLT for ``net`` with skew controlled to ``skew_bound``.
+
+    ``skew_bound``'s unit follows ``model`` (um of path length for the
+    default linear model, ps for Elmore — see :mod:`repro.dme.dme`).
+    ``eps`` is the Step 3 SALT relaxation strength; ``topology`` selects
+    the Step 1 merging scheme (paper Table 2 sweeps GreedyDist /
+    GreedyMerge / BiPartition).
+
+    ``step5`` selects how the final BST pass embeds the Step 4 topology:
+
+    * ``"repair"`` (default) — BST-DME with the merging regions pinned at
+      the Step 4 tree's own embedding, i.e. bottom-up interval merging
+      with minimal-detour snaking on fixed geometry.  This preserves
+      SALT's wire sharing exactly, which the rectangle-restricted free
+      regions of this reproduction cannot (see DESIGN.md);
+    * ``"dme"`` — full free-region BST-DME re-embedding of the topology
+      (the ablation variant; heavier but exercises the region machinery).
+    """
+    if step5 not in ("repair", "dme"):
+        raise ValueError(f"step5 must be 'repair' or 'dme', got {step5!r}")
+    model = model or LinearDelay()
+
+    # Step 1: initial bounded-skew tree
+    initial = bst_dme(net, skew_bound, model=model, topology=topology)
+
+    # Step 2: topology extraction — drop snaking, prune redundant Steiner
+    # nodes and re-refine the remaining geometry so SALT sees connection
+    # structure, not balancing artefacts
+    skeleton = initial.copy()
+    for nid in skeleton.node_ids():
+        if skeleton.node(nid).parent is not None:
+            skeleton.node(nid).detour = 0.0
+    prune_redundant_steiner(skeleton)
+    refine(skeleton)
+
+    # Step 3: SALT relaxation (breaks skew legality on purpose)
+    relaxed = salt(net, eps, init=skeleton)
+
+    # Step 4: legalise — binary tree, load pins as leaves
+    sinks_to_leaves(relaxed)
+    binarize(relaxed)
+
+    # Step 5: restore the skew bound and clean up
+    if step5 == "repair":
+        final = relaxed
+        repair_skew(final, skew_bound, model=model)
+    else:
+        relaxed_topo = extract_topology(relaxed)
+        final = bst_dme_on_topology(net, relaxed_topo, skew_bound, model=model)
+    prune_redundant_steiner(final, preserve_length=True)
+    final.validate()
+    return final

@@ -1,0 +1,87 @@
+"""SLLT tree metrics: shallowness, lightness, skewness (paper Section 2).
+
+Path lengths are measured on the routed tree from the *source* (tree root)
+to each sink, detours included — the linear delay proxy of Eqs. (1)-(3):
+
+* shallowness  alpha = max_i PL(s_i) / MD(s_i)                  (latency)
+* lightness    beta  = WL(T) / WL(T_FLUTE)                      (load)
+* skewness     gamma = max_i PL(s_i) / mean_i PL(s_i)           (skew,
+  Definition 2.1)
+
+``beta`` is normalised against this repository's FLUTE-equivalent RSMT
+engine, matching the paper's approximation beta ~= WL(T)/WL(T_FLUTE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import manhattan
+from repro.netlist.net import ClockNet
+from repro.netlist.tree import RoutedTree
+from repro.rsmt.flute_like import rsmt_wirelength
+
+
+@dataclass(frozen=True, slots=True)
+class TreeMetrics:
+    """The Table 1 row for one routed tree."""
+
+    max_pl: float
+    min_pl: float
+    mean_pl: float
+    total_wl: float
+    alpha: float   # shallowness
+    beta: float    # lightness
+    gamma: float   # skewness
+
+    @property
+    def pl_skew(self) -> float:
+        """max PL - min PL, the linear-model skew of Eq. (1)."""
+        return self.max_pl - self.min_pl
+
+    @property
+    def mean_score(self) -> float:
+        """The paper's "Mean" column: average of alpha, beta, gamma."""
+        return (self.alpha + self.beta + self.gamma) / 3.0
+
+
+def evaluate_tree(
+    tree: RoutedTree,
+    net: ClockNet,
+    rsmt_wl: float | None = None,
+) -> TreeMetrics:
+    """Compute the SLLT metrics of ``tree`` for ``net``.
+
+    ``rsmt_wl`` (the lightness denominator) is recomputed from the net when
+    not supplied; pass it explicitly when scoring many trees of one net.
+    Sinks co-located with the source are excluded from shallowness (their
+    Manhattan distance is zero, so the ratio is undefined).
+    """
+    pl_by_node = tree.sink_path_lengths()
+    if not pl_by_node:
+        raise ValueError("tree has no sinks to evaluate")
+    pls = list(pl_by_node.values())
+    max_pl = max(pls)
+    min_pl = min(pls)
+    mean_pl = sum(pls) / len(pls)
+
+    alpha = 1.0
+    for nid, pl in pl_by_node.items():
+        md = manhattan(net.source, tree.node(nid).location)
+        if md > 1e-9:
+            alpha = max(alpha, pl / md)
+
+    wl = tree.wirelength()
+    denom = rsmt_wl if rsmt_wl is not None else rsmt_wirelength(net)
+    beta = wl / denom if denom > 1e-9 else 1.0
+    gamma = max_pl / mean_pl if mean_pl > 1e-9 else 1.0
+
+    return TreeMetrics(
+        max_pl=max_pl,
+        min_pl=min_pl,
+        mean_pl=mean_pl,
+        total_wl=wl,
+        alpha=alpha,
+        beta=beta,
+        gamma=gamma,
+    )

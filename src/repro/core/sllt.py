@@ -1,0 +1,50 @@
+"""The (alpha-bar, beta-bar, gamma-bar)-SLLT predicate (Definition 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import TreeMetrics
+
+
+@dataclass(frozen=True, slots=True)
+class SLLTReport:
+    """Verdict of checking a tree against SLLT bounds."""
+
+    metrics: TreeMetrics
+    alpha_bound: float
+    beta_bound: float
+    gamma_bound: float
+
+    @property
+    def alpha_ok(self) -> bool:
+        return self.metrics.alpha <= self.alpha_bound + 1e-9
+
+    @property
+    def beta_ok(self) -> bool:
+        return self.metrics.beta <= self.beta_bound + 1e-9
+
+    @property
+    def gamma_ok(self) -> bool:
+        return self.metrics.gamma <= self.gamma_bound + 1e-9
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is an (alpha-bar, beta-bar, gamma-bar)-SLLT."""
+        return self.alpha_ok and self.beta_ok and self.gamma_ok
+
+
+def is_sllt(
+    metrics: TreeMetrics,
+    alpha_bound: float,
+    beta_bound: float,
+    gamma_bound: float,
+) -> SLLTReport:
+    """Check Definition 2.2 for given bounds (all must be >= 1)."""
+    for name, bound in (("alpha", alpha_bound), ("beta", beta_bound),
+                        ("gamma", gamma_bound)):
+        if bound < 1.0:
+            raise ValueError(
+                f"{name} bound must be >= 1 (metrics are ratios), got {bound}"
+            )
+    return SLLTReport(metrics, alpha_bound, beta_bound, gamma_bound)

@@ -1,0 +1,26 @@
+"""Hierarchical clock tree synthesis (paper Section 3, Fig. 3).
+
+Each level: (1) balanced K-means + min-cost-flow clustering, refined by
+simulated annealing; (2) routing topology generation per cluster net
+(CBS by default, pluggable); (3) driver buffering with insertion-delay
+estimation.  Cluster drivers become the next level's sinks until one net
+reaches the clock source.
+"""
+
+from repro.cts.constraints import Constraints, TABLE5
+from repro.cts.framework import FlowConfig, HierarchicalCTS, CTSResult, LevelStats
+from repro.cts.evaluation import SolutionReport, evaluate_solution
+from repro.cts.stats import TreeStatistics, tree_statistics
+
+__all__ = [
+    "CTSResult",
+    "Constraints",
+    "FlowConfig",
+    "HierarchicalCTS",
+    "LevelStats",
+    "SolutionReport",
+    "TreeStatistics",
+    "tree_statistics",
+    "TABLE5",
+    "evaluate_solution",
+]

@@ -1,0 +1,46 @@
+"""Per-net design constraints (paper Table 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Constraints:
+    """The constraint set every clock net of a level must satisfy.
+
+    ``max_slew`` is optional (the paper's Table 5 lists only the first
+    four); when set, repeater spacing additionally honours the
+    slew-derived span limit of Sitik et al. [19] (see
+    :func:`repro.buffering.estimation.max_span_for_slew`).
+    """
+
+    skew_bound: float = 80.0        # ps
+    max_fanout: int = 32
+    max_cap: float = 150.0          # fF
+    max_length: float = 300.0       # um
+    max_slew: float | None = None   # ps, optional
+
+    def __post_init__(self) -> None:
+        if self.skew_bound < 0:
+            raise ValueError(f"negative skew bound {self.skew_bound}")
+        if self.max_fanout < 1:
+            raise ValueError(f"max_fanout must be >= 1, got {self.max_fanout}")
+        if self.max_cap <= 0 or self.max_length <= 0:
+            raise ValueError("max_cap and max_length must be positive")
+        if self.max_slew is not None and self.max_slew <= 0:
+            raise ValueError(f"max_slew must be positive, got {self.max_slew}")
+
+    def effective_span(self, tech) -> float:
+        """Repeater span limit: wirelength constraint, tightened by the
+        slew constraint when one is set."""
+        if self.max_slew is None:
+            return self.max_length
+        from repro.buffering.estimation import max_span_for_slew
+
+        return min(self.max_length, max_span_for_slew(tech, self.max_slew))
+
+
+#: The exact configuration of the paper's Table 5.
+TABLE5 = Constraints(skew_bound=80.0, max_fanout=32, max_cap=150.0,
+                     max_length=300.0)

@@ -1,0 +1,319 @@
+"""The hierarchical CTS level loop (paper Fig. 3).
+
+``HierarchicalCTS.run(sinks, source)`` drives levels bottom-up:
+
+1. **Partition** — balanced K-means with capacity = max_fanout (splitting
+   further while any cluster violates the cap constraint), optionally
+   refined by the Fig. 4 simulated annealing;
+2. **Routing topology generation** — one net per cluster, rooted at the
+   cluster tap, routed by CBS (default; pluggable to plain BST / SALT /
+   RSMT for the Section 3.3 trade-offs);
+3. **Buffering** — a driver buffer at each tap, sized by load; over-long
+   edges get repeater chains.  The driver becomes a sink of the next
+   level, carrying either the Eq. (7) insertion-delay lower bound (the
+   paper's method, default) or the exact Eq. (6) delay as its
+   ``subtree_delay``.
+
+The loop ends when the surviving taps fit one net from the clock source;
+cluster trees are then grafted into their parent nets to form the final
+routed tree, which :func:`repro.cts.evaluation.evaluate_solution` scores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.buffering.estimation import insertion_delay_estimate
+from repro.buffering.insertion import place_driver, split_long_edges
+from repro.core.cbs import cbs
+from repro.cts.constraints import Constraints, TABLE5
+from repro.dme.models import ElmoreDelay
+from repro.geometry import Point, manhattan_center
+from repro.netlist.net import ClockNet
+from repro.netlist.sink import Sink
+from repro.netlist.tree import RoutedTree
+from repro.partition.annealing import SAConfig, anneal_partition
+from repro.partition.clustering import Cluster, cluster_cap
+from repro.partition.kmeans import balanced_kmeans
+from repro.tech.buffer_library import BufferLibrary, default_library
+from repro.tech.technology import Technology
+from repro.timing.elmore import ElmoreAnalyzer
+
+
+@dataclass(slots=True)
+class FlowConfig:
+    """Knobs of the hierarchical flow."""
+
+    topology: str = "greedy_dist"     # CBS Step 1 merge scheme
+    eps: float = 0.3                  # CBS Step 3 relaxation
+    use_sa: bool = True               # Fig. 4 refinement on/off (ablation)
+    sa_iterations: int = 200
+    use_insertion_estimate: bool = True  # Eq. (7) vs exact Eq. (6)
+    seed: int = 0
+    source_slew: float = 10.0         # ps at the clock source
+    # pluggable per-net router: (net, skew_bound_ps, model) -> RoutedTree
+    router: Callable | None = None
+
+
+@dataclass(slots=True)
+class LevelStats:
+    """Per-level digest (the data behind Fig. 3)."""
+
+    level: int
+    num_sinks: int
+    num_clusters: int
+    sa_cost_before: float
+    sa_cost_after: float
+    max_net_cap: float
+    max_net_fanout: int
+    buffers_added: int
+
+
+@dataclass(slots=True)
+class CTSResult:
+    """Outcome of a hierarchical run."""
+
+    tree: RoutedTree              # full routed tree rooted at the source
+    levels: list[LevelStats]
+    runtime_s: float
+
+
+class HierarchicalCTS:
+    """The paper's hierarchical CTS engine."""
+
+    def __init__(
+        self,
+        tech: Technology | None = None,
+        library: BufferLibrary | None = None,
+        constraints: Constraints = TABLE5,
+        config: FlowConfig | None = None,
+    ):
+        self._tech = tech or Technology()
+        self._lib = library or default_library()
+        self._constraints = constraints
+        self._config = config or FlowConfig()
+        self._analyzer = ElmoreAnalyzer(self._tech, self._config.source_slew)
+
+    # ------------------------------------------------------------------
+    def run(self, sinks: list[Sink], source: Point) -> CTSResult:
+        if not sinks:
+            raise ValueError("hierarchical CTS needs at least one sink")
+        start = time.perf_counter()
+        cons = self._constraints
+        current = list(sinks)
+        levels: list[LevelStats] = []
+        subtrees: dict[str, RoutedTree] = {}  # driver sink name -> its net tree
+        level = 0
+
+        while len(current) > cons.max_fanout:
+            clusters, sa_before, sa_after = self._partition(current, level)
+            next_sinks: list[Sink] = []
+            buffers_added = 0
+            for j, cluster in enumerate(clusters):
+                if not cluster.sinks:
+                    continue
+                name = f"L{level}_c{j}"
+                driver_sink, tree, nbuf = self._route_cluster(name, cluster)
+                subtrees[name] = tree
+                next_sinks.append(driver_sink)
+                buffers_added += nbuf
+            levels.append(LevelStats(
+                level=level,
+                num_sinks=len(current),
+                num_clusters=len(next_sinks),
+                sa_cost_before=sa_before,
+                sa_cost_after=sa_after,
+                max_net_cap=max(
+                    cluster_cap(c, self._tech.unit_cap)
+                    for c in clusters if c.sinks
+                ),
+                max_net_fanout=max(c.size for c in clusters),
+                buffers_added=buffers_added,
+            ))
+            if len(next_sinks) >= len(current):
+                raise RuntimeError(
+                    "hierarchical clustering failed to reduce the sink count"
+                )
+            current = next_sinks
+            level += 1
+
+        top_tree = self._route_top(current, source)
+        full = self._assemble(top_tree, subtrees)
+        full.validate()
+        return CTSResult(
+            tree=full,
+            levels=levels,
+            runtime_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 1: partition
+    # ------------------------------------------------------------------
+    def _partition(
+        self, sinks: list[Sink], level: int
+    ) -> tuple[list[Cluster], float, float]:
+        cons = self._constraints
+        cfg = self._config
+        points = [s.location for s in sinks]
+        max_size = cons.max_fanout
+        # split further while the densest cluster overruns the cap budget
+        for _ in range(6):
+            centers, labels = balanced_kmeans(
+                points, max_size=max_size, seed=cfg.seed + level
+            )
+            clusters = self._materialise(sinks, centers, labels)
+            worst = max(
+                cluster_cap(c, self._tech.unit_cap) for c in clusters if c.sinks
+            )
+            if worst <= cons.max_cap or max_size <= 2:
+                break
+            max_size = max(2, max_size // 2)
+
+        from repro.partition.annealing import total_cost
+
+        sa_cfg = SAConfig(
+            iterations=cfg.sa_iterations,
+            seed=cfg.seed + level,
+            max_cap=cons.max_cap,
+            max_fanout=cons.max_fanout,
+            max_length=cons.max_length,
+            unit_cap=self._tech.unit_cap,
+        )
+        before = total_cost(clusters, sa_cfg)
+        if cfg.use_sa and len(clusters) > 1:
+            clusters, trace = anneal_partition(clusters, sa_cfg)
+            after = min(trace)  # anneal_partition returns the best state
+        else:
+            after = before
+        return [c for c in clusters if c.sinks], before, after
+
+    @staticmethod
+    def _materialise(
+        sinks: list[Sink], centers: list[Point], labels: list[int]
+    ) -> list[Cluster]:
+        groups: dict[int, list[Sink]] = {}
+        for sink, label in zip(sinks, labels):
+            groups.setdefault(label, []).append(sink)
+        return [
+            Cluster(groups.get(j, []), center)
+            for j, center in enumerate(centers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Stages 2 + 3: routing topology + buffering for one cluster net
+    # ------------------------------------------------------------------
+    def _route_cluster(
+        self, name: str, cluster: Cluster
+    ) -> tuple[Sink, RoutedTree, int]:
+        cons = self._constraints
+        cfg = self._config
+        tap = manhattan_center([s.location for s in cluster.sinks])
+        net = ClockNet(name, tap, cluster.sinks)
+        tree = self._route(net)
+        nbuf = split_long_edges(
+            tree, self._lib, self._tech, cons.effective_span(self._tech),
+            cfg.source_slew
+        )
+        driver = place_driver(tree, self._lib, self._tech, cfg.source_slew)
+        nbuf += 1
+
+        report = self._analyzer.analyze(tree)
+        if cfg.use_insertion_estimate:
+            # Eq. (7): provisional delay charged before upstream merging —
+            # latency below the driver plus the conservative driver bound
+            load = report.stage_load.get(tree.root, 0.0)
+            below = max(
+                report.sink_arrival.values()
+            ) - self._driver_delay_in_report(tree, report)
+            subtree_delay = below + insertion_delay_estimate(self._lib, load)
+        else:
+            subtree_delay = report.latency
+        driver_sink = Sink(
+            name=name,
+            location=tap,
+            cap=driver.input_cap,
+            subtree_delay=subtree_delay,
+        )
+        return driver_sink, tree, nbuf
+
+    def _driver_delay_in_report(self, tree: RoutedTree, report) -> float:
+        """Delay contributed by the root driver inside an analysis report."""
+        root = tree.node(tree.root)
+        if root.buffer is None:
+            return 0.0
+        load = report.stage_load.get(tree.root, 0.0)
+        return root.buffer.delay(self._config.source_slew, load)
+
+    def _route(self, net: ClockNet) -> RoutedTree:
+        cfg = self._config
+        model = ElmoreDelay(self._tech)
+        if cfg.router is not None:
+            return cfg.router(net, self._constraints.skew_bound, model)
+        return cbs(
+            net,
+            skew_bound=self._constraints.skew_bound,
+            eps=cfg.eps,
+            model=model,
+            topology=cfg.topology,
+        )
+
+    # ------------------------------------------------------------------
+    # Top net + assembly
+    # ------------------------------------------------------------------
+    def _route_top(self, sinks: list[Sink], source: Point) -> RoutedTree:
+        net = ClockNet("top", source, sinks)
+        tree = self._route(net)
+        split_long_edges(
+            tree, self._lib, self._tech,
+            self._constraints.effective_span(self._tech),
+            self._config.source_slew,
+        )
+        place_driver(tree, self._lib, self._tech, self._config.source_slew)
+        return tree
+
+    def _assemble(
+        self, top: RoutedTree, subtrees: dict[str, RoutedTree]
+    ) -> RoutedTree:
+        return graft_subtrees(top, subtrees)
+
+
+def graft_subtrees(
+    top: RoutedTree, subtrees: dict[str, RoutedTree]
+) -> RoutedTree:
+    """Graft cluster trees into the sink nodes that reference them.
+
+    A sink whose name appears in ``subtrees`` is replaced by that tree's
+    root (inheriting its driver buffer); grafting recurses through sinks
+    of grafted trees, so a full hierarchy assembles in one call.  The
+    inputs are not modified.
+    """
+    full = top.copy()
+    pending = [
+        nid for nid in full.sink_node_ids()
+        if full.node(nid).sink.name in subtrees
+    ]
+    while pending:
+        nid = pending.pop()
+        node = full.node(nid)
+        sub = subtrees[node.sink.name]
+        sub_root = sub.node(sub.root)
+        node.sink = None
+        node.buffer = sub_root.buffer
+        mapping = {sub.root: nid}
+        for sid in sub.preorder():
+            if sid == sub.root:
+                continue
+            s_node = sub.node(sid)
+            new_id = full.add_child(
+                mapping[s_node.parent],
+                s_node.location,
+                sink=s_node.sink,
+                detour=s_node.detour,
+            )
+            full.set_buffer(new_id, s_node.buffer)
+            mapping[sid] = new_id
+            if s_node.sink is not None and s_node.sink.name in subtrees:
+                pending.append(new_id)
+    return full

@@ -1,0 +1,78 @@
+"""Named per-net routing policies (paper Section 3.3).
+
+"Design requirements dictate the choice of generation methods": the paper
+lists three scenarios and which tree family each favours.  These policies
+are pluggable into :class:`~repro.cts.framework.FlowConfig` via its
+``router`` field:
+
+* ``skew_first``        — traditional CTS: BST-DME at the full bound
+  (algorithms with skew control are preferred);
+* ``routability_first`` — "routability concerns necessitate lighter SLLT,
+  favoring FLUTE-like tree structures": RSMT net with bounded-skew repair
+  only if the result violates;
+* ``latency_first``     — "for larger designs, minimizing latency ... is
+  key, requiring less shallow SLLT": small-eps SALT with skew repair;
+* ``balanced``          — the default CBS (the SLLT sweet spot).
+
+Every policy returns a tree meeting the skew bound, so they are
+interchangeable inside the hierarchical framework.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.cbs import cbs
+from repro.dme.dme import bst_dme
+from repro.dme.models import DelayModel
+from repro.dme.repair import repair_skew
+from repro.netlist.net import ClockNet
+from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import binarize, sinks_to_leaves
+from repro.rsmt.flute_like import rsmt
+from repro.salt.salt import salt
+
+
+def skew_first(net: ClockNet, bound: float, model: DelayModel) -> RoutedTree:
+    """Classic skew-tree routing: BST-DME at the bound."""
+    return bst_dme(net, bound, model=model)
+
+
+def routability_first(
+    net: ClockNet, bound: float, model: DelayModel
+) -> RoutedTree:
+    """FLUTE-like net, repaired only as much as the bound demands."""
+    tree = rsmt(net)
+    _legalise_and_repair(tree, bound, model)
+    return tree
+
+
+def latency_first(
+    net: ClockNet, bound: float, model: DelayModel
+) -> RoutedTree:
+    """Shallow SALT (eps = 0.05) with bounded-skew repair."""
+    tree = salt(net, eps=0.05)
+    _legalise_and_repair(tree, bound, model)
+    return tree
+
+
+def balanced(net: ClockNet, bound: float, model: DelayModel) -> RoutedTree:
+    """The paper's CBS — the default trade-off."""
+    return cbs(net, bound, model=model)
+
+
+def _legalise_and_repair(
+    tree: RoutedTree, bound: float, model: DelayModel
+) -> None:
+    sinks_to_leaves(tree)
+    binarize(tree)
+    repair_skew(tree, bound, model=model)
+
+
+#: name -> policy, for configuration files and the CLI
+ROUTER_POLICIES: dict[str, Callable] = {
+    "skew_first": skew_first,
+    "routability_first": routability_first,
+    "latency_first": latency_first,
+    "balanced": balanced,
+}

@@ -1,0 +1,20 @@
+"""Benchmark designs: synthetic placements matching paper Table 4.
+
+The paper evaluates on ISCAS'89 / OpenLane / OpenCores netlists placed by
+a commercial tool, plus four internal ysyx designs.  Those placements are
+not redistributable, so this package generates synthetic equivalents
+parameterised by the published statistics (#instances, #flip-flops,
+utilisation) — see DESIGN.md for the substitution argument.
+"""
+
+from repro.designs.generator import Design, DesignSpec, generate_design
+from repro.designs.catalog import TABLE4_SPECS, design_names, load_design
+
+__all__ = [
+    "Design",
+    "DesignSpec",
+    "TABLE4_SPECS",
+    "design_names",
+    "generate_design",
+    "load_design",
+]

@@ -1,0 +1,51 @@
+"""The ten benchmark designs of paper Table 4."""
+
+from __future__ import annotations
+
+from repro.designs.generator import Design, DesignSpec, generate_design
+
+#: Exactly the statistics of paper Table 4.
+TABLE4_SPECS: dict[str, DesignSpec] = {
+    spec.name: spec
+    for spec in [
+        DesignSpec("s38584", num_insts=7510, num_ffs=1248,
+                   utilization=0.60, seed=1),
+        DesignSpec("s38417", num_insts=6428, num_ffs=1564,
+                   utilization=0.61, seed=2),
+        DesignSpec("s35932", num_insts=6113, num_ffs=1728,
+                   utilization=0.58, seed=3),
+        DesignSpec("salsa20", num_insts=13706, num_ffs=2375,
+                   utilization=0.68, seed=4),
+        DesignSpec("ethernet", num_insts=39945, num_ffs=10015,
+                   utilization=0.61, seed=5),
+        DesignSpec("vga_lcd", num_insts=60541, num_ffs=16902,
+                   utilization=0.55, seed=6),
+        DesignSpec("ysyx_0", num_insts=86933, num_ffs=18487,
+                   utilization=0.93, seed=7),
+        DesignSpec("ysyx_1", num_insts=93907, num_ffs=19090,
+                   utilization=0.868, seed=8),
+        DesignSpec("ysyx_2", num_insts=139178, num_ffs=27078,
+                   utilization=0.814, seed=9),
+        DesignSpec("ysyx_3", num_insts=139956, num_ffs=22810,
+                   utilization=0.722, seed=10),
+    ]
+}
+
+#: The six open designs of Table 6 and the four internal ones of Table 7.
+OPEN_DESIGNS = ["s38584", "s38417", "s35932", "salsa20", "ethernet", "vga_lcd"]
+YSYX_DESIGNS = ["ysyx_0", "ysyx_1", "ysyx_2", "ysyx_3"]
+
+
+def design_names() -> list[str]:
+    return list(TABLE4_SPECS)
+
+
+def load_design(name: str, scale: float = 1.0) -> Design:
+    """Generate one catalog design (see ``generate_design`` for scale)."""
+    try:
+        spec = TABLE4_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown design {name!r}; catalog has {design_names()}"
+        ) from None
+    return generate_design(spec, scale=scale)

@@ -1,0 +1,94 @@
+"""Synthetic placement generation from design statistics.
+
+The die side follows from instance count and utilisation assuming a
+28nm-like average cell area; flip-flops are placed as a mixture of
+Gaussian "module" clusters and a uniform background, which reproduces the
+clustered-sink geometry real placements hand to CTS.  Deterministic per
+(spec, seed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.netlist.sink import Sink
+
+#: Average placed-cell area, um^2 (28nm-like standard cells).
+AVG_CELL_AREA = 1.2
+
+#: Fraction of flip-flops placed in clustered "modules".
+CLUSTER_FRACTION = 0.7
+
+#: Average flip-flops per module cluster.
+FFS_PER_MODULE = 150
+
+
+@dataclass(frozen=True, slots=True)
+class DesignSpec:
+    """Published statistics of one benchmark design (paper Table 4)."""
+
+    name: str
+    num_insts: int
+    num_ffs: int
+    utilization: float
+    seed: int = 0
+
+    def die_side(self) -> float:
+        """Square die side (um) implied by instances and utilisation."""
+        area = self.num_insts * AVG_CELL_AREA / self.utilization
+        return math.sqrt(area)
+
+
+@dataclass(frozen=True, slots=True)
+class Design:
+    """A generated benchmark: sink placement plus the clock source."""
+
+    spec: DesignSpec
+    sinks: list[Sink]
+    source: Point
+    die_side: float
+
+
+def generate_design(spec: DesignSpec, scale: float = 1.0) -> Design:
+    """Generate the synthetic placement for ``spec``.
+
+    ``scale`` < 1 shrinks the flip-flop count (and die proportionally) for
+    fast runs; the full-size design is scale = 1.  Pin capacitances are
+    drawn near 1 fF as in the technology's sink default.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    n_ffs = max(2, int(round(spec.num_ffs * scale)))
+    side = spec.die_side() * math.sqrt(scale)
+    rng = np.random.default_rng(spec.seed + 0xC75)
+
+    n_clustered = int(n_ffs * CLUSTER_FRACTION)
+    n_uniform = n_ffs - n_clustered
+    points: list[tuple[float, float]] = []
+
+    n_modules = max(1, round(n_clustered / FFS_PER_MODULE))
+    module_centers = rng.uniform(0.12 * side, 0.88 * side, size=(n_modules, 2))
+    module_sigma = side / max(4.0, 2.0 * math.sqrt(n_modules))
+    for i in range(n_clustered):
+        cx, cy = module_centers[i % n_modules]
+        x = float(np.clip(rng.normal(cx, module_sigma), 0.0, side))
+        y = float(np.clip(rng.normal(cy, module_sigma), 0.0, side))
+        points.append((x, y))
+    for _ in range(n_uniform):
+        points.append((float(rng.uniform(0, side)), float(rng.uniform(0, side))))
+
+    caps = np.clip(rng.normal(1.0, 0.15, size=len(points)), 0.5, 2.0)
+    sinks = [
+        Sink(f"{spec.name}_ff{i}", Point(x, y), cap=float(c))
+        for i, ((x, y), c) in enumerate(zip(points, caps))
+    ]
+    return Design(
+        spec=spec,
+        sinks=sinks,
+        source=Point(side / 2.0, side / 2.0),
+        die_side=side,
+    )

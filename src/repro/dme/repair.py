@@ -1,0 +1,232 @@
+"""Bounded-skew repair on an embedded tree: pinned-region BST-DME.
+
+Given an already-embedded tree (CBS Step 4 produces the SALT-relaxed one),
+run the BST-DME bottom-up interval merge with two degrees of freedom per
+internal node, mirroring what the free-region embedding would do:
+
+* **re-embedding** — a Steiner node may move: sliding the merge point
+  toward the slow subtree shortens its arm and lengthens the fast one,
+  trading delay between the sides at constant wire (the mechanism that
+  makes real BST-DME cheap).  A small candidate set is evaluated exactly:
+  the current spot, each child, the median with the parent, and blends
+  toward each child;
+* **snaking** — whatever imbalance re-embedding cannot absorb is fixed by
+  the minimal detour on the too-fast children:
+
+      delta_i = max(0, (max_j hi_j) - bound - lo_i).
+
+Both are exact under either delay model (detour wire adds capacitance,
+which is propagated bottom-up before upstream arms are evaluated), and the
+resulting node interval has width <= bound whenever each child's does,
+which holds inductively from the leaves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dme.models import DelayModel, ElmoreDelay, LinearDelay
+from repro.geometry import Point, manhattan
+from repro.netlist.tree import RoutedTree
+from repro.tech.technology import RC_TO_PS
+
+
+def repair_skew(
+    tree: RoutedTree,
+    skew_bound: float,
+    model: DelayModel | None = None,
+    relocate: bool = True,
+) -> float:
+    """Restore ``skew_bound`` in place; returns the wirelength added.
+
+    The bound's unit follows the model (um for linear, ps for Elmore), as
+    everywhere in :mod:`repro.dme`.  ``relocate=False`` disables the
+    re-embedding freedom (snake-only repair, the ablation variant).
+    """
+    if skew_bound < 0:
+        raise ValueError(f"negative skew bound {skew_bound}")
+    model = model or LinearDelay()
+
+    wire_before = tree.wirelength()
+    lo: dict[int, float] = {}
+    hi: dict[int, float] = {}
+    cap: dict[int, float] = {}
+
+    for nid in tree.postorder():
+        node = tree.node(nid)
+        if not node.children:
+            delay = node.sink.subtree_delay if node.sink is not None else 0.0
+            lo[nid] = hi[nid] = delay
+            cap[nid] = node.sink.cap if node.sink is not None else 0.0
+            continue
+
+        if relocate and node.is_steiner and node.parent is not None:
+            best = _best_position(tree, model, skew_bound, nid, lo, hi, cap)
+            if best is not None:
+                tree.move_node(nid, best)
+
+        _snake_children(tree, model, skew_bound, nid, lo, hi, cap)
+
+        shifted = [
+            (lo[cid] + model.wire_delay(tree.edge_length(cid), cap[cid]),
+             hi[cid] + model.wire_delay(tree.edge_length(cid), cap[cid]))
+            for cid in node.children
+        ]
+        lo[nid] = min(s[0] for s in shifted)
+        hi[nid] = max(s[1] for s in shifted)
+        if node.sink is not None:
+            lo[nid] = min(lo[nid], node.sink.subtree_delay)
+            hi[nid] = max(hi[nid], node.sink.subtree_delay)
+        cap[nid] = (node.sink.cap if node.sink is not None else 0.0) + sum(
+            cap[cid] + model.unit_cap * tree.edge_length(cid)
+            for cid in node.children
+        )
+
+    return tree.wirelength() - wire_before
+
+
+# ----------------------------------------------------------------------
+# Re-embedding
+# ----------------------------------------------------------------------
+def _best_position(
+    tree: RoutedTree,
+    model: DelayModel,
+    skew_bound: float,
+    nid: int,
+    lo: dict[int, float],
+    hi: dict[int, float],
+    cap: dict[int, float],
+) -> Point | None:
+    """Candidate position minimising wire + required snaking for ``nid``."""
+    node = tree.node(nid)
+    parent_loc = tree.node(node.parent).location  # type: ignore[index]
+    child_ids = node.children
+    child_locs = [tree.node(c).location for c in child_ids]
+
+    candidates: list[Point] = [node.location]
+    candidates.extend(child_locs)
+    for c_loc in child_locs:
+        candidates.append(_median(parent_loc, node.location, c_loc))
+        for frac in (0.25, 0.5, 0.75):
+            candidates.append(Point(
+                node.location.x + frac * (c_loc.x - node.location.x),
+                node.location.y + frac * (c_loc.y - node.location.y),
+            ))
+
+    best_cost = None
+    best_point = None
+    for q in candidates:
+        cost = _position_cost(
+            tree, model, skew_bound, q, parent_loc, child_ids, lo, hi, cap
+        )
+        if best_cost is None or cost < best_cost - 1e-12:
+            best_cost = cost
+            best_point = q
+    if best_point is None or best_point.is_close(node.location):
+        return None
+    return best_point
+
+
+def _position_cost(
+    tree: RoutedTree,
+    model: DelayModel,
+    skew_bound: float,
+    q: Point,
+    parent_loc: Point,
+    child_ids: list[int],
+    lo: dict[int, float],
+    hi: dict[int, float],
+    cap: dict[int, float],
+) -> float:
+    """Wire this node costs when embedded at q: parent edge + child arms
+    + the snaking each child would need."""
+    arms = [
+        manhattan(q, tree.node(c).location) + tree.node(c).detour
+        for c in child_ids
+    ]
+    shifted_lo = [lo[c] + model.wire_delay(a, cap[c])
+                  for c, a in zip(child_ids, arms)]
+    shifted_hi = [hi[c] + model.wire_delay(a, cap[c])
+                  for c, a in zip(child_ids, arms)]
+    hi_max = max(shifted_hi)
+    snake = 0.0
+    for c, arm, s_lo in zip(child_ids, arms, shifted_lo):
+        deficit = (hi_max - skew_bound) - s_lo
+        if deficit > 1e-12:
+            snake += _extension_for_added_delay(model, arm, deficit, cap[c])
+    return manhattan(q, parent_loc) + sum(arms) + snake
+
+
+def _median(a: Point, b: Point, c: Point) -> Point:
+    return Point(
+        sorted((a.x, b.x, c.x))[1],
+        sorted((a.y, b.y, c.y))[1],
+    )
+
+
+# ----------------------------------------------------------------------
+# Snaking
+# ----------------------------------------------------------------------
+def _snake_children(
+    tree: RoutedTree,
+    model: DelayModel,
+    skew_bound: float,
+    nid: int,
+    lo: dict[int, float],
+    hi: dict[int, float],
+    cap: dict[int, float],
+) -> None:
+    node = tree.node(nid)
+    shifted: dict[int, float] = {}
+    hi_max = None
+    for cid in node.children:
+        arm = tree.edge_length(cid)
+        t = model.wire_delay(arm, cap[cid])
+        shifted[cid] = lo[cid] + t
+        top = hi[cid] + t
+        hi_max = top if hi_max is None else max(hi_max, top)
+    assert hi_max is not None
+    for cid in node.children:
+        deficit = (hi_max - skew_bound) - shifted[cid]
+        if deficit <= 1e-12:
+            continue
+        arm = tree.edge_length(cid)
+        extra = _extension_for_added_delay(model, arm, deficit, cap[cid])
+        tree.set_detour(cid, tree.node(cid).detour + extra)
+
+
+def _extension_for_added_delay(
+    model: DelayModel, base_length: float, added_delay: float,
+    downstream_cap: float,
+) -> float:
+    """Extra wirelength dL with t(L + dL, C) - t(L, C) == added_delay."""
+    if added_delay <= 0:
+        return 0.0
+    if isinstance(model, LinearDelay):
+        return added_delay
+    if isinstance(model, ElmoreDelay):
+        # k (L+dL)(c(L+dL)/2 + C) - k L (cL/2 + C) = delta
+        # (kc/2) dL^2 + k (cL + C) dL - delta = 0
+        tech = model._tech  # intentional: repair is a dme-internal helper
+        k = tech.unit_res * RC_TO_PS
+        c = tech.unit_cap
+        if c <= 0:
+            if downstream_cap <= 0:
+                raise ValueError("cannot snake: zero wire cap and zero load")
+            return added_delay / (k * downstream_cap)
+        a = k * c / 2.0
+        b = k * (c * base_length + downstream_cap)
+        disc = b * b + 4.0 * a * added_delay
+        return (-b + math.sqrt(disc)) / (2.0 * a)
+    # generic fallback: invert by bisection on the model interface
+    lo_ext, hi_ext = 0.0, max(1.0, added_delay)
+    base = model.wire_delay(base_length, downstream_cap)
+    while model.wire_delay(base_length + hi_ext, downstream_cap) - base < added_delay:
+        hi_ext *= 2.0
+    for _ in range(60):
+        mid = (lo_ext + hi_ext) / 2.0
+        if model.wire_delay(base_length + mid, downstream_cap) - base < added_delay:
+            lo_ext = mid
+        else:
+            hi_ext = mid
+    return hi_ext

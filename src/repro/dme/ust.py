@@ -1,0 +1,122 @@
+"""UST-DME: useful-skew trees (Tsao & Koh, the paper's reference [20]).
+
+Useful skew replaces the single symmetric bound with a *permissible
+arrival window* per sink: sink i must be reached within [a_i, b_i] ps of
+some common reference (which the clock period absorbs, so the reference
+itself is free).  A tree satisfies the constraints iff
+
+    max_i (arrival_i - b_i)  <=  min_i (arrival_i - a_i),
+
+i.e. some shift aligns every arrival into its window.
+
+This reduces exactly to the bounded-skew merge algebra: track
+``hi = max_i (arrival_i - b_i)`` and ``lo = min_i (arrival_i - a_i)`` —
+both shift by the arm delay at every merge, a leaf starts *inverted*
+(hi = -b_i <= lo = -a_i, slack!), and feasibility is ``hi - lo <= 0``,
+which is :func:`repro.dme.merging.merge_specs` with a zero skew bound.
+The balanced-merge induction that keeps ``width <= max(w_a, w_b)``
+preserves feasibility all the way to the root.
+
+The classic BST is the special case a_i = b_i = 0 for every sink... with
+the bound carried in the window instead: windows ``[0, B]`` for all sinks
+reproduce a B-bounded BST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.dme.dme import embed, _resolve_topology
+from repro.dme.merging import MergeSpec
+from repro.dme.models import DelayModel, LinearDelay
+from repro.geometry import rotate45
+from repro.geometry.segment import Rect
+from repro.netlist.net import ClockNet
+from repro.netlist.sink import Sink
+from repro.netlist.topology import TopologyNode
+from repro.netlist.tree import RoutedTree
+
+
+def ust_dme(
+    net: ClockNet,
+    windows: Mapping[str, tuple[float, float]],
+    model: DelayModel | None = None,
+    topology: str | TopologyNode | Callable = "greedy_dist",
+) -> RoutedTree:
+    """Useful-skew tree for ``net``.
+
+    ``windows`` maps each sink name to its permissible arrival window
+    (a_i, b_i) with a_i <= b_i, in the delay model's unit, relative to an
+    arbitrary common reference.  Every sink must have a window.  The
+    result satisfies all windows simultaneously up to a common shift
+    (check with :func:`ust_feasible_shift`).
+    """
+    model = model or LinearDelay()
+    for sink in net.sinks:
+        if sink.name not in windows:
+            raise ValueError(f"sink {sink.name!r} has no permissible window")
+        a, b = windows[sink.name]
+        if a > b:
+            raise ValueError(
+                f"sink {sink.name!r} window [{a}, {b}] is inverted"
+            )
+
+    topo = _resolve_topology(net, topology)
+    spec = _build_with_windows(topo, model, windows)
+    return embed(spec, net.source)
+
+
+def _build_with_windows(
+    topo: TopologyNode,
+    model: DelayModel,
+    windows: Mapping[str, tuple[float, float]],
+) -> MergeSpec:
+    def leaf_spec(sink: Sink) -> MergeSpec:
+        a, b = windows[sink.name]
+        base = sink.subtree_delay
+        return MergeSpec(
+            region=Rect.from_point(rotate45(sink.location)),
+            lo=base - a,   # min-tracked: arrival - a_i
+            hi=base - b,   # max-tracked: arrival - b_i (starts below lo)
+            cap=sink.cap,
+            sink_ref=sink,
+        )
+
+    # reuse the generic bottom-up pass with swapped leaf construction
+    spec_of: dict[int, MergeSpec] = {}
+    stack: list[tuple[TopologyNode, bool]] = [(topo, False)]
+    from repro.dme.merging import merge_specs
+
+    while stack:
+        node, expanded = stack.pop()
+        if node.is_leaf:
+            spec_of[id(node)] = leaf_spec(node.sink)  # type: ignore[arg-type]
+            continue
+        if not expanded:
+            stack.append((node, True))
+            stack.append((node.left, False))   # type: ignore[arg-type]
+            stack.append((node.right, False))  # type: ignore[arg-type]
+            continue
+        spec_of[id(node)] = merge_specs(
+            spec_of[id(node.left)],
+            spec_of[id(node.right)],
+            model,
+            skew_bound=0.0,
+        )
+    return spec_of[id(topo)]
+
+
+def ust_feasible_shift(
+    arrivals: Mapping[str, float],
+    windows: Mapping[str, tuple[float, float]],
+) -> tuple[float, float] | None:
+    """The interval of common shifts aligning all arrivals into their
+    windows, or None when the constraints are unsatisfiable.
+
+    arrival_i + s in [a_i, b_i]  <=>  s in [a_i - arr_i, b_i - arr_i].
+    """
+    lo = max(windows[name][0] - arr for name, arr in arrivals.items())
+    hi = min(windows[name][1] - arr for name, arr in arrivals.items())
+    if lo > hi + 1e-9:
+        return None
+    return lo, hi

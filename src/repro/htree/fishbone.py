@@ -1,0 +1,91 @@
+"""Fishbone clock architecture (the paper's related work [8]).
+
+A central vertical *spine* with horizontal *ribs*: sinks are banded into
+rows, each row gets a rib at its median y reaching from the spine to the
+row's sinks, and each sink taps its rib with a short vertical stub.  The
+structure is popular in structured-ASIC flows for its regularity and
+routability; like the H-tree it trades wirelength for predictability, and
+it slots into the Table 1 style gallery as another "skew by construction"
+family (rib lengths, not balancing, determine its skew).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point
+from repro.netlist.net import ClockNet
+from repro.netlist.sink import Sink
+from repro.netlist.tree import RoutedTree
+
+
+def fishbone(net: ClockNet, rows: int | None = None) -> RoutedTree:
+    """Build a fishbone tree for ``net``.
+
+    ``rows`` is the number of horizontal ribs (default ~sqrt(n), at least
+    1).  The spine sits at the median sink x; the source enters the spine
+    at its nearest point.
+    """
+    sinks = net.sinks
+    n = len(sinks)
+    if rows is None:
+        rows = max(1, round(math.sqrt(n)))
+    if rows < 1:
+        raise ValueError(f"rows must be >= 1, got {rows}")
+    rows = min(rows, n)
+
+    xs = sorted(s.location.x for s in sinks)
+    spine_x = xs[len(xs) // 2]
+
+    by_y = sorted(sinks, key=lambda s: (s.location.y, s.location.x, s.name))
+    band_size = math.ceil(n / rows)
+    bands = [by_y[i:i + band_size] for i in range(0, n, band_size)]
+    rib_ys = [
+        sorted(s.location.y for s in band)[len(band) // 2] for band in bands
+    ]
+
+    tree = RoutedTree(net.source)
+    entry_y = min(max(net.source.y, min(rib_ys)), max(rib_ys))
+    entry = tree.add_child(tree.root, Point(spine_x, entry_y))
+
+    # chain spine junctions away from the entry in both directions so the
+    # tree edges follow the physical spine runs
+    junctions: dict[int, int] = {}
+    order = sorted(range(len(bands)), key=lambda i: abs(rib_ys[i] - entry_y))
+    up_prev = down_prev = entry
+    up_y = down_y = entry_y
+    for i in order:
+        y = rib_ys[i]
+        if y >= entry_y:
+            junctions[i] = tree.add_child(up_prev, Point(spine_x, y))
+            up_prev, up_y = junctions[i], y
+        else:
+            junctions[i] = tree.add_child(down_prev, Point(spine_x, y))
+            down_prev, down_y = junctions[i], y
+
+    for i, band in enumerate(bands):
+        _build_rib(tree, junctions[i], spine_x, rib_ys[i], band)
+
+    tree.validate()
+    return tree
+
+
+def _build_rib(
+    tree: RoutedTree, junction: int, spine_x: float, rib_y: float,
+    band: list[Sink],
+) -> None:
+    """Two chains of rib taps (left and right of the spine) + stubs."""
+    left = sorted(
+        (s for s in band if s.location.x < spine_x),
+        key=lambda s: -s.location.x,  # nearest to the spine first
+    )
+    right = sorted(
+        (s for s in band if s.location.x >= spine_x),
+        key=lambda s: s.location.x,
+    )
+    for side in (left, right):
+        prev = junction
+        for sink in side:
+            tap = tree.add_child(prev, Point(sink.location.x, rib_y))
+            tree.add_child(tap, sink.location, sink=sink)
+            prev = tap

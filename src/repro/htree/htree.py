@@ -1,0 +1,76 @@
+"""Classic H-tree construction over a sink set.
+
+The tree recursively bisects the sink bounding box, alternating cut axis,
+to a fixed depth chosen so every leaf cell holds at most ``max_leaf_sinks``
+sinks.  All taps therefore sit at the same depth of a geometrically
+symmetric trunk; sinks connect to their cell's tap by direct stubs.  The
+source is wired to the top-level tap.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.netlist.net import ClockNet
+from repro.netlist.sink import Sink
+from repro.netlist.tree import RoutedTree
+
+
+def htree(net: ClockNet, max_leaf_sinks: int = 1, max_depth: int = 12) -> RoutedTree:
+    """Build an H-tree for ``net``; returns a routed tree.
+
+    ``max_leaf_sinks`` controls how many sinks may share one tap; depth is
+    uniform across the whole tree (the H-tree's defining property), chosen
+    as the smallest depth whose cell count covers the sinks.
+    """
+    if max_leaf_sinks < 1:
+        raise ValueError(f"max_leaf_sinks must be >= 1, got {max_leaf_sinks}")
+    sinks = net.sinks
+    depth = 0
+    while 2 ** depth * max_leaf_sinks < len(sinks) and depth < max_depth:
+        depth += 1
+
+    xs = [s.location.x for s in sinks]
+    ys = [s.location.y for s in sinks]
+    lo = Point(min(xs), min(ys))
+    hi = Point(max(xs), max(ys))
+
+    tree = RoutedTree(net.source)
+    center = Point((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0)
+    top = tree.add_child(tree.root, center)
+    _expand(tree, top, sinks, lo, hi, depth, horizontal=True)
+    tree.validate()
+    return tree
+
+
+def _expand(
+    tree: RoutedTree,
+    tap: int,
+    sinks: list[Sink],
+    lo: Point,
+    hi: Point,
+    depth: int,
+    horizontal: bool,
+) -> None:
+    if depth == 0:
+        for sink in sinks:
+            tree.add_child(tap, sink.location, sink=sink)
+        return
+    if horizontal:
+        mid = (lo.x + hi.x) / 2.0
+        halves = [
+            (lo, Point(mid, hi.y), [s for s in sinks if s.location.x <= mid]),
+            (Point(mid, lo.y), hi, [s for s in sinks if s.location.x > mid]),
+        ]
+    else:
+        mid = (lo.y + hi.y) / 2.0
+        halves = [
+            (lo, Point(hi.x, mid), [s for s in sinks if s.location.y <= mid]),
+            (Point(lo.x, mid), hi, [s for s in sinks if s.location.y > mid]),
+        ]
+
+    for half_lo, half_hi, members in halves:
+        center = Point((half_lo.x + half_hi.x) / 2.0,
+                       (half_lo.y + half_hi.y) / 2.0)
+        child = tree.add_child(tap, center)
+        _expand(tree, child, members, half_lo, half_hi, depth - 1,
+                horizontal=not horizontal)

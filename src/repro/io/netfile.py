@@ -1,0 +1,67 @@
+"""A minimal text format for clock nets.
+
+One net per file::
+
+    # anything after a hash is a comment
+    net <name>
+    source <x> <y>
+    sink <name> <x> <y> <cap> [<subtree_delay>]
+
+Whitespace-separated, order of sink lines preserved.  The format exists so
+examples and external users can exchange test cases without pickling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.geometry import Point
+from repro.netlist.net import ClockNet
+from repro.netlist.sink import Sink
+
+
+def write_net(net: ClockNet, path: str | Path) -> None:
+    """Serialise a clock net to ``path``."""
+    lines = [f"net {net.name}", f"source {net.source.x} {net.source.y}"]
+    for s in net.sinks:
+        line = f"sink {s.name} {s.location.x} {s.location.y} {s.cap}"
+        if s.subtree_delay:
+            line += f" {s.subtree_delay}"
+        lines.append(line)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_net(path: str | Path) -> ClockNet:
+    """Parse a clock net written by :func:`write_net`."""
+    name: str | None = None
+    source: Point | None = None
+    sinks: list[Sink] = []
+    for raw_line in Path(path).read_text().splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "net":
+            if len(parts) != 2:
+                raise ValueError(f"malformed net line: {raw_line!r}")
+            name = parts[1]
+        elif kind == "source":
+            if len(parts) != 3:
+                raise ValueError(f"malformed source line: {raw_line!r}")
+            source = Point(float(parts[1]), float(parts[2]))
+        elif kind == "sink":
+            if len(parts) not in (5, 6):
+                raise ValueError(f"malformed sink line: {raw_line!r}")
+            delay = float(parts[5]) if len(parts) == 6 else 0.0
+            sinks.append(Sink(
+                parts[1],
+                Point(float(parts[2]), float(parts[3])),
+                cap=float(parts[4]),
+                subtree_delay=delay,
+            ))
+        else:
+            raise ValueError(f"unknown record {kind!r} in {raw_line!r}")
+    if name is None or source is None:
+        raise ValueError("net file must contain 'net' and 'source' lines")
+    return ClockNet(name, source, sinks)

@@ -1,0 +1,60 @@
+"""Monospace table rendering in the paper's style.
+
+Benchmarks print their reproduced tables through these helpers so that
+output lines up with the paper's rows — including the normalised "Avg."
+row where every tool's geometric mean is divided by the first column
+group's ("Ours" = 1.000).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a fixed-width table; numbers get ``precision`` decimals."""
+    rendered: list[list[str]] = [[_fmt(cell, precision) for cell in row]
+                                 for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def normalized_average(columns: dict[str, list[float]]) -> dict[str, float]:
+    """Paper-style "Avg." row: per-tool geometric mean over designs,
+    normalised so the first tool reads 1.000.
+
+    Zero or negative entries (a tool that produced no buffers, say) are
+    clamped to a tiny epsilon before the log.
+    """
+    if not columns:
+        raise ValueError("no columns to average")
+    means: dict[str, float] = {}
+    for tool, values in columns.items():
+        if not values:
+            raise ValueError(f"tool {tool!r} has no values")
+        logs = [math.log(max(v, 1e-12)) for v in values]
+        means[tool] = math.exp(sum(logs) / len(logs))
+    first = next(iter(means.values()))
+    return {tool: mean / first for tool, mean in means.items()}

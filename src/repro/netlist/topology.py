@@ -1,0 +1,91 @@
+"""Abstract binary merge topologies.
+
+DME-style algorithms separate *topology* (which subtrees merge with which)
+from *embedding* (where the merge points go).  A :class:`TopologyNode` tree
+captures only the former: internal nodes are merges, leaves are sinks.
+
+CBS passes topologies back and forth between BST and SALT (paper Fig. 2
+Steps 2 and 4), so this structure lives in the shared :mod:`repro.netlist`
+layer rather than inside :mod:`repro.dme`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.sink import Sink
+
+
+@dataclass(slots=True)
+class TopologyNode:
+    """A node of a binary merge topology.
+
+    Exactly one of the following holds:
+
+    * ``sink`` is set and ``left``/``right`` are None  (a leaf), or
+    * ``left`` and ``right`` are set and ``sink`` is None (a merge).
+    """
+
+    sink: Sink | None = None
+    left: "TopologyNode | None" = None
+    right: "TopologyNode | None" = None
+
+    def __post_init__(self) -> None:
+        is_leaf = self.sink is not None
+        has_children = self.left is not None or self.right is not None
+        if is_leaf and has_children:
+            raise ValueError("topology leaf must not have children")
+        if not is_leaf and (self.left is None or self.right is None):
+            raise ValueError("topology merge node needs both children")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.sink is not None
+
+    @staticmethod
+    def leaf(sink: Sink) -> "TopologyNode":
+        return TopologyNode(sink=sink)
+
+    @staticmethod
+    def merge(left: "TopologyNode", right: "TopologyNode") -> "TopologyNode":
+        return TopologyNode(left=left, right=right)
+
+
+def topology_leaves(root: TopologyNode) -> list[Sink]:
+    """All sinks of the topology in left-to-right order (iterative DFS)."""
+    leaves: list[Sink] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            leaves.append(node.sink)  # type: ignore[arg-type]
+        else:
+            stack.append(node.right)  # type: ignore[arg-type]
+            stack.append(node.left)   # type: ignore[arg-type]
+    return leaves
+
+
+def topology_depth(root: TopologyNode) -> int:
+    """Height of the merge topology (leaf = 0)."""
+    depth = 0
+    stack = [(root, 0)]
+    while stack:
+        node, d = stack.pop()
+        depth = max(depth, d)
+        if not node.is_leaf:
+            stack.append((node.left, d + 1))   # type: ignore[arg-type]
+            stack.append((node.right, d + 1))  # type: ignore[arg-type]
+    return depth
+
+
+def topology_size(root: TopologyNode) -> int:
+    """Total node count of the topology."""
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if not node.is_leaf:
+            stack.append(node.left)   # type: ignore[arg-type]
+            stack.append(node.right)  # type: ignore[arg-type]
+    return count

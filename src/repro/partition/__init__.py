@@ -1,0 +1,35 @@
+"""Partitioning substrate for the hierarchical CTS flow (paper Section 3.2).
+
+* :mod:`kmeans` — balanced K-means: Lloyd iterations (k-means++ seeded,
+  deterministic) followed by capacity-respecting assignment;
+* :mod:`mcf` — a from-scratch successive-shortest-path min-cost-flow
+  solver used for exact balanced assignment on small instances (with a
+  vectorised regret-greedy fallback at scale — see DESIGN.md);
+* :mod:`clustering` — the latency/capacitance-adaptive clustering cost
+  Cost^k = p * var(Cap^k) + q * var(T^k) and a silhouette score;
+* :mod:`annealing` — the simulated-annealing refinement with convex-hull
+  boundary moves (paper Fig. 4).
+"""
+
+from repro.partition.kmeans import balanced_kmeans, kmeans
+from repro.partition.mcf import balanced_assign, min_cost_flow
+from repro.partition.clustering import (
+    Cluster,
+    cluster_cap,
+    clustering_cost,
+    silhouette_score,
+)
+from repro.partition.annealing import SAConfig, anneal_partition
+
+__all__ = [
+    "Cluster",
+    "SAConfig",
+    "anneal_partition",
+    "balanced_assign",
+    "balanced_kmeans",
+    "cluster_cap",
+    "clustering_cost",
+    "kmeans",
+    "min_cost_flow",
+    "silhouette_score",
+]

@@ -1,0 +1,110 @@
+"""Balanced K-means for clock-node clustering (paper Section 3.2).
+
+``kmeans`` is a deterministic numpy Lloyd's algorithm with k-means++
+seeding; ``balanced_kmeans`` caps cluster sizes (the fanout constraint) by
+re-assigning points through :func:`repro.partition.mcf.balanced_assign`,
+following Han et al.'s K-means + min-cost-flow recipe the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.partition.mcf import balanced_assign
+
+
+def kmeans(
+    points: list[Point],
+    k: int,
+    max_iters: int = 50,
+    seed: int = 0,
+) -> tuple[list[Point], list[int]]:
+    """Plain K-means (Manhattan-flavoured: medians as centers).
+
+    Returns (centers, label per point).  Deterministic for a given seed.
+    """
+    n = len(points)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n == 0:
+        raise ValueError("kmeans() requires at least one point")
+    k = min(k, n)
+    coords = np.array([[p.x, p.y] for p in points])
+    centers = _kmeans_pp_init(coords, k, seed)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iters):
+        dists = (
+            np.abs(coords[:, None, 0] - centers[None, :, 0])
+            + np.abs(coords[:, None, 1] - centers[None, :, 1])
+        )
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = coords[labels == j]
+            if len(members):
+                # the L1 centroid is the coordinate-wise median
+                centers[j] = np.median(members, axis=0)
+    return [Point(float(c[0]), float(c[1])) for c in centers], [int(l) for l in labels]
+
+
+def _kmeans_pp_init(coords: np.ndarray, k: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = len(coords)
+    centers = np.empty((k, 2))
+    centers[0] = coords[rng.integers(n)]
+    closest = np.abs(coords - centers[0]).sum(axis=1)
+    for j in range(1, k):
+        weights = closest * closest
+        total = weights.sum()
+        if total <= 0:
+            centers[j] = coords[rng.integers(n)]
+        else:
+            centers[j] = coords[rng.choice(n, p=weights / total)]
+        closest = np.minimum(closest, np.abs(coords - centers[j]).sum(axis=1))
+    return centers
+
+
+def balanced_kmeans(
+    points: list[Point],
+    max_size: int,
+    seed: int = 0,
+    slack: float = 1.0,
+) -> tuple[list[Point], list[int]]:
+    """K-means whose clusters never exceed ``max_size`` members.
+
+    The cluster count is ceil(n / (max_size * utilisation)); after Lloyd
+    converges, points are re-assigned under capacity via min-cost flow
+    (or its documented greedy fallback at scale).  ``slack`` < 1 leaves
+    headroom in each cluster (useful before SA refinement moves nodes).
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    if not 0 < slack <= 1:
+        raise ValueError(f"slack must be in (0, 1], got {slack}")
+    n = len(points)
+    target = max(1, int(max_size * slack))
+    k = max(1, math.ceil(n / target))
+    centers, labels = kmeans(points, k, seed=seed)
+
+    counts = np.bincount(labels, minlength=k)
+    if counts.max() <= max_size:
+        return centers, labels
+    assignment = balanced_assign(points, centers, capacity=max_size)
+    # recentre once after rebalancing to keep centers honest
+    coords = np.array([[p.x, p.y] for p in points])
+    arr = np.array(assignment)
+    new_centers = []
+    for j in range(k):
+        members = coords[arr == j]
+        if len(members):
+            med = np.median(members, axis=0)
+            new_centers.append(Point(float(med[0]), float(med[1])))
+        else:
+            new_centers.append(centers[j])
+    return new_centers, assignment

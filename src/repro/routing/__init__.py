@@ -1,0 +1,22 @@
+"""Global-routing substrate: congestion evaluation of clock trees.
+
+The paper's introduction motivates SLLT with routability: "the proximity
+of the clock tree's routing topology to the outcome of the routing stage
+improves its reliability and robustness", and lighter trees "help CTS
+reduce power" while easing congestion.  This package provides the
+routing-stage counterpart needed to *measure* that claim:
+
+* :class:`~repro.routing.grid.RoutingGrid` — a 2-D global-routing grid
+  with per-edge capacities and demands;
+* :func:`~repro.routing.router.route_tree` — embed a routed clock tree
+  (plus optional background demand) onto the grid with congestion-aware
+  pattern routing (best of the two L-shapes per edge, Z-shapes on
+  overflow);
+* :class:`~repro.routing.router.CongestionReport` — overflow, max and
+  mean utilisation — the numbers a global router would hand back.
+"""
+
+from repro.routing.grid import RoutingGrid
+from repro.routing.router import CongestionReport, route_tree
+
+__all__ = ["CongestionReport", "RoutingGrid", "route_tree"]

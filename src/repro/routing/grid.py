@@ -1,0 +1,109 @@
+"""A 2-D global-routing grid (GCell graph).
+
+The die is tiled into ``nx x ny`` GCells; horizontal and vertical edges
+between adjacent cells carry capacities (tracks) and accumulated demand.
+Demand is fractional: a wire crossing a GCell boundary consumes one unit
+of the corresponding edge.
+
+Kept deliberately simple — uniform capacity per direction, single layer
+pair — because the benches only need *relative* congestion of different
+clock topologies on equal terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Point
+
+
+class RoutingGrid:
+    """GCell grid over the rectangle (0,0)..(width,height)."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        nx: int = 32,
+        ny: int = 32,
+        h_capacity: float = 10.0,
+        v_capacity: float = 10.0,
+    ):
+        if width <= 0 or height <= 0:
+            raise ValueError("grid extents must be positive")
+        if nx < 2 or ny < 2:
+            raise ValueError("need at least a 2x2 grid")
+        if h_capacity <= 0 or v_capacity <= 0:
+            raise ValueError("capacities must be positive")
+        self.width = width
+        self.height = height
+        self.nx = nx
+        self.ny = ny
+        self.h_capacity = h_capacity
+        self.v_capacity = v_capacity
+        # h_demand[i, j]: edge between cell (i, j) and (i+1, j)
+        self.h_demand = np.zeros((nx - 1, ny))
+        # v_demand[i, j]: edge between cell (i, j) and (i, j+1)
+        self.v_demand = np.zeros((nx, ny - 1))
+
+    # ------------------------------------------------------------------
+    def cell_of(self, p: Point) -> tuple[int, int]:
+        """GCell indices of a point (clamped to the die)."""
+        i = min(self.nx - 1, max(0, int(p.x / self.width * self.nx)))
+        j = min(self.ny - 1, max(0, int(p.y / self.height * self.ny)))
+        return i, j
+
+    def add_h_segment(self, j: int, i0: int, i1: int, amount: float = 1.0):
+        """Add demand along row j from cell i0 to i1 (inclusive cells)."""
+        lo, hi = sorted((i0, i1))
+        if hi > lo:
+            self.h_demand[lo:hi, j] += amount
+
+    def add_v_segment(self, i: int, j0: int, j1: int, amount: float = 1.0):
+        lo, hi = sorted((j0, j1))
+        if hi > lo:
+            self.v_demand[i, lo:hi] += amount
+
+    # ------------------------------------------------------------------
+    def h_cost(self, j: int, i0: int, i1: int) -> float:
+        """Congestion cost of an h-run: sum of per-edge penalty.
+
+        The penalty grows super-linearly once demand approaches capacity,
+        the standard negotiation-style cost shape.
+        """
+        lo, hi = sorted((i0, i1))
+        if hi <= lo:
+            return 0.0
+        d = self.h_demand[lo:hi, j]
+        u = (d + 1.0) / self.h_capacity
+        return float(np.sum(1.0 + np.where(u > 1.0, (u - 1.0) * 8.0, u)))
+
+    def v_cost(self, i: int, j0: int, j1: int) -> float:
+        lo, hi = sorted((j0, j1))
+        if hi <= lo:
+            return 0.0
+        d = self.v_demand[i, lo:hi]
+        u = (d + 1.0) / self.v_capacity
+        return float(np.sum(1.0 + np.where(u > 1.0, (u - 1.0) * 8.0, u)))
+
+    # ------------------------------------------------------------------
+    @property
+    def overflow(self) -> float:
+        """Total demand above capacity across all edges."""
+        return float(
+            np.sum(np.maximum(self.h_demand - self.h_capacity, 0.0))
+            + np.sum(np.maximum(self.v_demand - self.v_capacity, 0.0))
+        )
+
+    @property
+    def max_utilization(self) -> float:
+        h = self.h_demand.max(initial=0.0) / self.h_capacity
+        v = self.v_demand.max(initial=0.0) / self.v_capacity
+        return float(max(h, v))
+
+    @property
+    def mean_utilization(self) -> float:
+        total = self.h_demand.sum() + self.v_demand.sum()
+        cap = (self.h_demand.size * self.h_capacity
+               + self.v_demand.size * self.v_capacity)
+        return float(total / cap)

@@ -1,0 +1,27 @@
+"""Rectilinear Steiner minimal tree (RSMT) engine — the FLUTE substitute.
+
+The paper uses FLUTE both as a lightness reference (beta ~= WL(T) /
+WL(T_FLUTE)) and as the light initial tree for SALT.  FLUTE's lookup tables
+are proprietary-format artefacts, so this package provides an equivalent
+from-scratch engine (see DESIGN.md):
+
+* exact medians for degree <= 3;
+* Kahng-Robins iterated 1-Steiner over Hanan-grid candidates for small
+  nets (the net sizes of the paper's Tables 1-3);
+* Prim rectilinear MST followed by repeated median steinerisation for
+  large nets.
+"""
+
+from repro.rsmt.mst import rectilinear_mst, rectilinear_mst_length
+from repro.rsmt.steinerize import median_steinerize
+from repro.rsmt.one_steiner import iterated_one_steiner
+from repro.rsmt.flute_like import rsmt, rsmt_wirelength
+
+__all__ = [
+    "iterated_one_steiner",
+    "median_steinerize",
+    "rectilinear_mst",
+    "rectilinear_mst_length",
+    "rsmt",
+    "rsmt_wirelength",
+]

@@ -1,0 +1,56 @@
+"""The RSMT front-end: our FLUTE equivalent.
+
+``rsmt(net)`` returns a :class:`~repro.netlist.tree.RoutedTree` rooted at
+the net's source spanning all sinks.  Dispatch by net size:
+
+* n <= 2 sinks — direct connection (trivially optimal up to L-routing);
+* n <= ``ONE_STEINER_LIMIT`` — iterated 1-Steiner (near-optimal);
+* larger — Prim MST + exhaustive median steinerisation.
+
+Every path ends with a median-steinerisation polish and a redundant-node
+prune, so the output contains no degree-2 Steiner points.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.netlist.net import ClockNet
+from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import prune_redundant_steiner, tree_from_parent_map
+from repro.rsmt.mst import rectilinear_mst
+from repro.rsmt.one_steiner import iterated_one_steiner
+from repro.rsmt.steinerize import median_steinerize
+
+#: Largest sink count routed through iterated 1-Steiner by default.  Larger
+#: nets fall back to MST + median steinerisation; callers that want maximum
+#: quality on a specific net (e.g. the Table 1 gallery) can raise the limit.
+ONE_STEINER_LIMIT = 10
+
+
+def rsmt(net: ClockNet, one_steiner_limit: int = ONE_STEINER_LIMIT) -> RoutedTree:
+    """Rectilinear Steiner tree for ``net``, rooted at its source."""
+    sinks = net.sinks
+    points = [net.source] + [s.location for s in sinks]
+
+    steiner_extra: list[Point] = []
+    if 3 <= len(points) <= one_steiner_limit + 1:
+        steiner_extra = iterated_one_steiner(points)
+
+    all_points = points + steiner_extra
+    parents = rectilinear_mst(all_points, root=0)
+
+    # indices into tree_from_parent_map arrays exclude the source itself
+    locations = all_points[1:]
+    shifted_parents = [p - 1 for p in parents[1:]]  # source becomes -1
+    sink_map = {i: sinks[i] for i in range(len(sinks))}
+    tree = tree_from_parent_map(net.source, locations, shifted_parents, sink_map)
+
+    median_steinerize(tree)
+    prune_redundant_steiner(tree)
+    tree.validate()
+    return tree
+
+
+def rsmt_wirelength(net: ClockNet) -> float:
+    """WL of our FLUTE-equivalent tree — the beta denominator of Eq. (3)."""
+    return rsmt(net).wirelength()

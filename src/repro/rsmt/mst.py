@@ -1,0 +1,88 @@
+"""Rectilinear (Manhattan) minimum spanning trees via Prim's algorithm.
+
+O(n^2) dense Prim is the right tool here: clock nets have tens of pins and
+the iterated 1-Steiner pass recomputes MSTs many times, so low constant
+factors beat asymptotics.  Coordinates are kept in flat float lists to stay
+allocation-light.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+
+
+def rectilinear_mst(points: list[Point], root: int = 0) -> list[int]:
+    """Prim MST under Manhattan distance, rooted at ``points[root]``.
+
+    Returns a parent array: ``parents[i]`` is the index of i's parent, and
+    ``parents[root] == -1``.  Ties are broken deterministically by index.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("rectilinear_mst() requires at least one point")
+    if not 0 <= root < n:
+        raise ValueError(f"root index {root} out of range")
+    parents = [-1] * n
+    if n == 1:
+        return parents
+
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    best_parent = [-1] * n
+    in_tree[root] = True
+    rx, ry = xs[root], ys[root]
+    for i in range(n):
+        if i != root:
+            best_dist[i] = abs(xs[i] - rx) + abs(ys[i] - ry)
+            best_parent[i] = root
+
+    for _ in range(n - 1):
+        u = -1
+        u_dist = float("inf")
+        for i in range(n):
+            if not in_tree[i] and best_dist[i] < u_dist:
+                u = i
+                u_dist = best_dist[i]
+        in_tree[u] = True
+        parents[u] = best_parent[u]
+        ux, uy = xs[u], ys[u]
+        for i in range(n):
+            if not in_tree[i]:
+                d = abs(xs[i] - ux) + abs(ys[i] - uy)
+                if d < best_dist[i]:
+                    best_dist[i] = d
+                    best_parent[i] = u
+    return parents
+
+
+def rectilinear_mst_length(points: list[Point]) -> float:
+    """Total Manhattan length of the MST (no parent array materialised)."""
+    n = len(points)
+    if n <= 1:
+        return 0.0
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    in_tree[0] = True
+    for i in range(1, n):
+        best_dist[i] = abs(xs[i] - xs[0]) + abs(ys[i] - ys[0])
+    total = 0.0
+    for _ in range(n - 1):
+        u = -1
+        u_dist = float("inf")
+        for i in range(n):
+            if not in_tree[i] and best_dist[i] < u_dist:
+                u = i
+                u_dist = best_dist[i]
+        in_tree[u] = True
+        total += u_dist
+        ux, uy = xs[u], ys[u]
+        for i in range(n):
+            if not in_tree[i]:
+                d = abs(xs[i] - ux) + abs(ys[i] - uy)
+                if d < best_dist[i]:
+                    best_dist[i] = d
+    return total

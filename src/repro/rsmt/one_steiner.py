@@ -1,0 +1,61 @@
+"""Kahng-Robins iterated 1-Steiner heuristic.
+
+Each round evaluates every Hanan-grid candidate point, keeps the one whose
+addition reduces the rectilinear MST length most, and repeats until no
+candidate helps.  Quality is near-optimal for the 10-40 pin nets of the
+paper's experiments; cost is O(rounds * |Hanan| * n^2), so the dispatcher
+in :mod:`repro.rsmt.flute_like` only routes small nets here.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.rsmt.mst import rectilinear_mst_length
+
+
+def hanan_points(points: list[Point]) -> list[Point]:
+    """The Hanan grid of a point set, existing points excluded."""
+    xs = sorted(set(p.x for p in points))
+    ys = sorted(set(p.y for p in points))
+    existing = set((p.x, p.y) for p in points)
+    return [
+        Point(x, y) for x in xs for y in ys if (x, y) not in existing
+    ]
+
+
+def iterated_one_steiner(
+    points: list[Point], max_steiner: int | None = None, tol: float = 1e-9
+) -> list[Point]:
+    """Steiner points (possibly empty) that shrink the MST over ``points``.
+
+    Returns the chosen Steiner points; the caller builds the final MST over
+    ``points + result``.  ``max_steiner`` caps the rounds (default n - 2,
+    the theoretical maximum useful count).
+    """
+    if len(points) < 3:
+        return []
+    if max_steiner is None:
+        max_steiner = len(points) - 2
+
+    terminals = list(points)
+    chosen: list[Point] = []
+    current_len = rectilinear_mst_length(terminals)
+
+    for _ in range(max_steiner):
+        candidates = hanan_points(terminals)
+        best_gain = tol
+        best_point = None
+        best_len = current_len
+        for cand in candidates:
+            new_len = rectilinear_mst_length(terminals + [cand])
+            gain = current_len - new_len
+            if gain > best_gain:
+                best_gain = gain
+                best_point = cand
+                best_len = new_len
+        if best_point is None:
+            break
+        chosen.append(best_point)
+        terminals.append(best_point)
+        current_len = best_len
+    return chosen

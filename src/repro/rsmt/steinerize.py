@@ -1,0 +1,121 @@
+"""Median steinerisation of a routed tree.
+
+Any three points u, v, w on the Manhattan plane have a unique median point
+m = (median(x), median(y)) through which a Steiner topology connecting the
+three is never longer than any two direct edges.  Replacing star patterns
+around a node with median Steiner points is the classic cheap RSMT
+improvement; applied to exhaustion it converts a rectilinear MST into a
+Steiner tree typically within a few percent of optimal for clock-net sizes.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, manhattan
+from repro.netlist.tree import RoutedTree
+
+
+def _median(a: Point, b: Point, c: Point) -> Point:
+    return Point(
+        sorted((a.x, b.x, c.x))[1],
+        sorted((a.y, b.y, c.y))[1],
+    )
+
+
+def median_steinerize(
+    tree: RoutedTree, tol: float = 1e-9, max_passes: int = 20
+) -> float:
+    """Insert median Steiner points in place; returns total length saved.
+
+    Two patterns are collapsed greedily, best gain first within each pass:
+
+    * two children c1, c2 of a common node u -> Steiner point
+      m(u, c1, c2) adopted as a child of u with c1, c2 below it;
+    * a node u with parent p and child c -> Steiner point m(p, u, c)
+      spliced between p and the pair {u, c}.
+
+    Passes repeat until a full pass yields no gain.  Only detour-free edges
+    participate (detours encode deliberate snaking that must be preserved).
+    """
+    total_gain = 0.0
+    for _ in range(max_passes):
+        gain = _one_pass(tree, tol)
+        if gain <= tol:
+            break
+        total_gain += gain
+    return total_gain
+
+
+def _one_pass(tree: RoutedTree, tol: float) -> float:
+    gain = 0.0
+    for nid in list(tree.preorder()):
+        if nid not in tree:
+            continue
+        gain += _collapse_children_pairs(tree, nid, tol)
+        gain += _collapse_parent_child(tree, nid, tol)
+    return gain
+
+
+def _collapse_children_pairs(tree: RoutedTree, nid: int, tol: float) -> float:
+    gain = 0.0
+    improved = True
+    while improved:
+        improved = False
+        node = tree.node(nid)
+        children = [c for c in node.children if tree.node(c).detour <= tol]
+        best = None
+        best_gain = tol
+        for i in range(len(children)):
+            for j in range(i + 1, len(children)):
+                c1, c2 = children[i], children[j]
+                p1 = tree.node(c1).location
+                p2 = tree.node(c2).location
+                m = _median(node.location, p1, p2)
+                old = manhattan(node.location, p1) + manhattan(node.location, p2)
+                new = (
+                    manhattan(node.location, m)
+                    + manhattan(m, p1)
+                    + manhattan(m, p2)
+                )
+                if old - new > best_gain:
+                    best_gain = old - new
+                    best = (c1, c2, m)
+        if best is not None:
+            c1, c2, m = best
+            steiner = tree.add_child(nid, m)
+            tree.reparent(c1, steiner)
+            tree.reparent(c2, steiner)
+            gain += best_gain
+            improved = True
+    return gain
+
+
+def _collapse_parent_child(tree: RoutedTree, nid: int, tol: float) -> float:
+    node = tree.node(nid)
+    if node.parent is None or node.detour > tol:
+        return 0.0
+    parent = tree.node(node.parent)
+    best_gain = tol
+    best = None
+    for cid in node.children:
+        child = tree.node(cid)
+        if child.detour > tol:
+            continue
+        m = _median(parent.location, node.location, child.location)
+        old = manhattan(parent.location, node.location) + manhattan(
+            node.location, child.location
+        )
+        new = (
+            manhattan(parent.location, m)
+            + manhattan(m, node.location)
+            + manhattan(m, child.location)
+        )
+        if old - new > best_gain:
+            best_gain = old - new
+            best = (cid, m)
+    if best is None:
+        return 0.0
+    cid, m = best
+    steiner = tree.add_child(node.parent, m)
+    tree.reparent(nid, steiner)
+    tree.reparent(cid, steiner)
+    return best_gain

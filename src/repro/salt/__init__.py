@@ -1,0 +1,20 @@
+"""Rectilinear SALT: Steiner shallow-light trees (Chen & Young, TCAD'19).
+
+``salt(net, eps)`` builds a tree in which every sink's path length is at
+most ``(1 + eps)`` times its Manhattan distance from the source (the
+shallowness guarantee), while staying close to the RSMT in total length
+(lightness).  ``eps = 0`` yields a shortest-path forest (alpha = 1), large
+``eps`` degenerates to the RSMT.
+
+The implementation follows the practical SALT recipe: start from a light
+Steiner tree, make *breakpoints* of the vertices whose tree path overruns
+their budget, reattach each breakpoint to the cheapest already-processed
+vertex that satisfies the budget, then run path-length-preserving
+rectilinear refinement (median steinerisation subsumes the L-shape
+flipping/overlap pass of the original code base — see refine.py).
+"""
+
+from repro.salt.salt import salt
+from repro.salt.refine import refine
+
+__all__ = ["refine", "salt"]

@@ -1,0 +1,176 @@
+"""Post-construction refinement of shallow-light trees.
+
+The SALT code base applies three rectilinear refinements: *steinerisation*
+(sharing common H/V runs between sibling edges), *L-shape flipping*
+(choosing the bend of each L route to maximise overlap) and redundant-node
+removal.  On the point-to-point tree representation used here, the first
+two are subsumed by median steinerisation: the median of {parent, child1,
+child2} lies on a shortest Manhattan path between every pair, so adopting
+it as a Steiner point realises exactly the overlap an optimal L-flip would
+expose, *without changing any source-to-sink path length* — the property
+that keeps the shallowness guarantee intact.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, manhattan
+from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import prune_redundant_steiner
+from repro.rsmt.steinerize import median_steinerize
+
+
+def refine(tree: RoutedTree, max_passes: int = 6) -> float:
+    """Refine in place; returns wirelength saved.
+
+    Alternates median steinerisation (local triple sharing) with edge
+    reattachment (global overlap discovery) until neither helps.  Both
+    operations never increase any source-to-sink path length, so the
+    shallowness guarantee of the caller survives refinement.
+    """
+    before = tree.wirelength()
+    for _ in range(max_passes):
+        gained = median_steinerize(tree)
+        gained += edge_reattach_pass(tree)
+        if gained <= 1e-9:
+            break
+    prune_redundant_steiner(tree)
+    tree.validate()
+    return before - tree.wirelength()
+
+
+def edge_reattach_pass(tree: RoutedTree, tol: float = 1e-9) -> float:
+    """Re-home nodes onto nearby points of existing tree edges.
+
+    For every non-root node v, find the point q on some tree edge's
+    L-shaped route that is closest to v; if attaching v at q both saves
+    wire and does not lengthen v's root path, split the edge at q with a
+    Steiner node and reparent v there.  This is the overlap discovery the
+    SALT code base performs via L-shape flipping: wirelength strictly
+    decreases and every path length is non-increasing, so it is safe
+    after any construction (SALT, CBS, RSMT).  Returns wire saved.
+    """
+    total_gain = 0.0
+    improved = True
+    passes = 0
+    pl = tree.path_lengths()
+    while improved and passes < 8:
+        improved = False
+        passes += 1
+        for vid in list(tree.preorder()):
+            if vid == tree.root or vid not in tree:
+                continue
+            v = tree.node(vid)
+            if v.detour > tol:
+                continue  # snaked edges encode deliberate delay
+            move = _best_attachment(tree, pl, vid, tol)
+            if move is None:
+                continue
+            edge_child, q, gain, new_pl = move
+            parent_of_edge = tree.node(edge_child).parent
+            split = _split_edge(tree, edge_child, q, tol)
+            tree.reparent(vid, split)
+            if split not in pl:
+                pl[split] = pl[parent_of_edge] + tree.edge_length(split)
+            # only v's subtree shifts (by a non-positive delta)
+            delta = new_pl - pl[vid]
+            stack = [vid]
+            while stack:
+                nid = stack.pop()
+                pl[nid] += delta
+                stack.extend(tree.node(nid).children)
+            total_gain += gain
+            improved = True
+    return total_gain
+
+
+def _best_attachment(
+    tree: RoutedTree, pl: dict[int, float], vid: int, tol: float
+) -> tuple[int, Point, float, float] | None:
+    v = tree.node(vid)
+    vx, vy = v.location.x, v.location.y
+    current_cost = tree.edge_length(vid)
+    blocked = _subtree_of(tree, vid)
+    best = None
+    best_gain = tol
+    for cid in tree.node_ids():
+        child = tree.node(cid)
+        if child.parent is None or cid in blocked or child.detour > tol:
+            continue
+        if child.parent in blocked:
+            continue
+        p = tree.node(child.parent)
+        # cheap reject: distance from v to the edge's bounding box lower-
+        # bounds the distance to any L-route of the edge
+        px, py = p.location.x, p.location.y
+        cx, cy = child.location.x, child.location.y
+        x1, x2 = (px, cx) if px <= cx else (cx, px)
+        y1, y2 = (py, cy) if py <= cy else (cy, py)
+        lb = max(x1 - vx, vx - x2, 0.0) + max(y1 - vy, vy - y2, 0.0)
+        if current_cost - lb <= best_gain:
+            continue
+        q, walk = _nearest_on_l(p.location, child.location, v.location)
+        d = manhattan(q, v.location)
+        gain = current_cost - d
+        if gain <= best_gain:
+            continue
+        new_pl = pl[child.parent] + walk + d
+        if new_pl > pl[vid] + tol:
+            continue  # would lengthen v's path: unsafe for shallowness
+        best = (cid, q, gain, new_pl)
+        best_gain = gain
+    return best
+
+
+def _subtree_of(tree: RoutedTree, vid: int) -> set[int]:
+    seen = {vid}
+    stack = [vid]
+    while stack:
+        nid = stack.pop()
+        for c in tree.node(nid).children:
+            seen.add(c)
+            stack.append(c)
+    return seen
+
+
+def _nearest_on_l(a: Point, b: Point, target: Point) -> tuple[Point, float]:
+    """Closest point to ``target`` on either L-route a -> b.
+
+    Returns (point, walk distance from a to that point along the route).
+    """
+    best_q = a
+    best_d = manhattan(a, target)
+    best_walk = 0.0
+    for corner in (Point(a.x, b.y), Point(b.x, a.y)):
+        for seg_a, seg_b, walk0 in (
+            (a, corner, 0.0),
+            (corner, b, manhattan(a, corner)),
+        ):
+            qx = min(max(target.x, min(seg_a.x, seg_b.x)), max(seg_a.x, seg_b.x))
+            qy = min(max(target.y, min(seg_a.y, seg_b.y)), max(seg_a.y, seg_b.y))
+            q = Point(qx, qy)
+            d = manhattan(q, target)
+            if d < best_d - 1e-12:
+                best_d = d
+                best_q = q
+                best_walk = walk0 + manhattan(seg_a, q)
+    return best_q, best_walk
+
+
+def _split_edge(tree: RoutedTree, child_id: int, q: Point, tol: float) -> int:
+    """Insert a Steiner node at q on the edge parent(child) -> child.
+
+    q must lie on a monotone (shortest) route between the endpoints, so
+    the child's path length is unchanged.  Returns the new node's id (or
+    an existing endpoint when q coincides with it).
+    """
+    child = tree.node(child_id)
+    parent_id = child.parent
+    assert parent_id is not None
+    parent = tree.node(parent_id)
+    if manhattan(q, parent.location) <= tol:
+        return parent_id
+    if manhattan(q, child.location) <= tol:
+        return child_id
+    split = tree.add_child(parent_id, q)
+    tree.reparent(child_id, split)
+    return split

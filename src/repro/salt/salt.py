@@ -1,0 +1,61 @@
+"""The SALT breakpoint algorithm (rectilinear, over any initial tree)."""
+
+from __future__ import annotations
+
+from repro.geometry import manhattan
+from repro.netlist.net import ClockNet
+from repro.netlist.tree import RoutedTree
+from repro.rsmt.flute_like import rsmt
+from repro.salt.refine import refine
+
+
+def salt(
+    net: ClockNet,
+    eps: float,
+    init: RoutedTree | None = None,
+    tol: float = 1e-9,
+) -> RoutedTree:
+    """Build a (1+eps)-shallow Steiner tree for ``net``.
+
+    ``init`` is the light initial tree (CBS passes the BST topology's tree
+    here — paper Fig. 2 Step 3); by default our RSMT engine provides it.
+    The returned tree satisfies, for every sink s,
+
+        PL(s) <= (1 + eps) * MD(s)
+
+    where MD is the Manhattan distance from the source.  The input tree is
+    not modified.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    tree = init.copy() if init is not None else rsmt(net)
+
+    root = tree.root
+    root_loc = tree.node(root).location
+    pl: dict[int, float] = {}
+
+    for nid in tree.preorder():
+        node = tree.node(nid)
+        if node.parent is None:
+            pl[nid] = 0.0
+            continue
+        candidate_pl = pl[node.parent] + tree.edge_length(nid)
+        budget = (1.0 + eps) * manhattan(root_loc, node.location)
+        if candidate_pl > budget + tol:
+            # breakpoint: reattach to the cheapest processed vertex whose
+            # path length still meets the budget (the root always does)
+            best_u = root
+            best_cost = manhattan(root_loc, node.location)
+            for uid, upl in pl.items():
+                if uid == nid:
+                    continue
+                d = manhattan(tree.node(uid).location, node.location)
+                if upl + d <= budget + tol and d < best_cost:
+                    best_cost = d
+                    best_u = uid
+            tree.reparent(nid, best_u, detour=0.0)
+            candidate_pl = pl[best_u] + best_cost
+        pl[nid] = candidate_pl
+
+    refine(tree)
+    return tree

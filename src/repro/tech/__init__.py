@@ -1,0 +1,22 @@
+"""Technology substrate: wire parasitics and the clock-buffer library.
+
+The paper evaluates at a 28nm process with a standard-cell library driven by
+the linear buffer-delay model of Sitik et al. (paper Eq. (6)):
+
+    D_buf(t) = omega_s * Slew_in(t) + omega_c * Cap_load(t) + omega_i
+
+This package provides a synthetic but dimensionally consistent 28nm-like
+technology (ohm/um, fF/um, ps) and a four-size clock buffer library with
+those coefficients.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.tech.technology import RC_TO_PS, Technology
+from repro.tech.buffer_library import BufferLibrary, BufferType, default_library
+
+__all__ = [
+    "RC_TO_PS",
+    "BufferLibrary",
+    "BufferType",
+    "Technology",
+    "default_library",
+]

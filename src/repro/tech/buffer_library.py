@@ -1,0 +1,119 @@
+"""Clock buffer library with the linear delay model of paper Eq. (6).
+
+Each buffer is characterised by
+
+    D_buf = omega_s * slew_in + omega_c * cap_load + omega_i        (Eq. 6)
+
+where ``omega_s`` is dimensionless, ``omega_c`` is in ps/fF (effectively the
+output resistance) and ``omega_i`` in ps.  The library also exposes the
+coefficients the paper's insertion-delay lower bound (Eq. (7)) needs:
+``min omega_c`` and ``min omega_i`` over the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class BufferType:
+    """One clock buffer cell."""
+
+    name: str
+    input_cap: float   # fF seen by the driving net
+    omega_s: float     # slew sensitivity (dimensionless)
+    omega_c: float     # load sensitivity, ps per fF (output resistance)
+    omega_i: float     # intrinsic delay, ps
+    area: float        # um^2
+    max_cap: float     # maximum load this buffer may drive, fF
+
+    def delay(self, slew_in: float, cap_load: float) -> float:
+        """Paper Eq. (6)."""
+        return self.omega_s * slew_in + self.omega_c * cap_load + self.omega_i
+
+    def output_slew(self, cap_load: float) -> float:
+        """First-order output slew: driven edge rate scales with RC at pin."""
+        return 2.0 * self.omega_c * cap_load + 0.5 * self.omega_i
+
+
+class BufferLibrary:
+    """An ordered collection of buffer sizes (weakest first)."""
+
+    def __init__(self, buffers: list[BufferType]):
+        if not buffers:
+            raise ValueError("buffer library must not be empty")
+        self._buffers = sorted(buffers, key=lambda b: b.omega_c, reverse=True)
+
+    def __iter__(self):
+        return iter(self._buffers)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __getitem__(self, idx: int) -> BufferType:
+        return self._buffers[idx]
+
+    @property
+    def buffers(self) -> list[BufferType]:
+        return list(self._buffers)
+
+    @property
+    def weakest(self) -> BufferType:
+        return self._buffers[0]
+
+    @property
+    def strongest(self) -> BufferType:
+        return self._buffers[-1]
+
+    def by_name(self, name: str) -> BufferType:
+        for buf in self._buffers:
+            if buf.name == name:
+                return buf
+        raise KeyError(f"no buffer named {name!r} in library")
+
+    def min_omega_c(self) -> float:
+        """min over the library of omega_c — first term of Eq. (7)."""
+        return min(b.omega_c for b in self._buffers)
+
+    def min_omega_i(self) -> float:
+        """min over the library of omega_i — second term of Eq. (7)."""
+        return min(b.omega_i for b in self._buffers)
+
+    def smallest_driving(self, cap_load: float) -> BufferType:
+        """Weakest buffer whose drive limit covers ``cap_load``.
+
+        Falls back to the strongest buffer when the load exceeds every
+        drive limit (callers are expected to have split the net first).
+        """
+        for buf in self._buffers:
+            if buf.max_cap >= cap_load:
+                return buf
+        return self.strongest
+
+    def best_delay(self, slew_in: float, cap_load: float) -> BufferType:
+        """Buffer minimising Eq. (6) delay for the given load, respecting
+        drive limits when possible."""
+        legal = [b for b in self._buffers if b.max_cap >= cap_load]
+        candidates = legal or self._buffers
+        return min(candidates, key=lambda b: b.delay(slew_in, cap_load))
+
+
+def default_library() -> BufferLibrary:
+    """A 28nm-like four-size clock buffer family.
+
+    Sizes are geometric: doubling drive roughly halves omega_c while
+    increasing input cap, area and intrinsic delay — the classic trade-off
+    the paper's buffering optimisation navigates.
+    """
+    return BufferLibrary(
+        [
+            BufferType("CLKBUF_X2", input_cap=2.8, omega_s=0.12,
+                       omega_c=0.62, omega_i=11.0, area=0.45, max_cap=48.0),
+            BufferType("CLKBUF_X4", input_cap=4.8, omega_s=0.11,
+                       omega_c=0.34, omega_i=12.5, area=0.70, max_cap=96.0),
+            BufferType("CLKBUF_X8", input_cap=8.6, omega_s=0.10,
+                       omega_c=0.19, omega_i=14.0, area=1.10, max_cap=190.0),
+            BufferType("CLKBUF_X16", input_cap=16.0, omega_s=0.09,
+                       omega_c=0.11, omega_i=16.0, area=1.80, max_cap=380.0),
+        ]
+    )

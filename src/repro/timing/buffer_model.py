@@ -1,0 +1,61 @@
+"""Buffer-level delay estimation formulas from paper Section 3.4.
+
+Three results are implemented:
+
+* ``critical_wirelength`` — the wirelength L(i,j) at which inserting an
+  intermediate buffer breaks even:
+
+      L(i,j) = 2 * sqrt((omega_c * Cap_pin + omega_i)
+                        / (r * c * (ln9 * omega_s + 1)))
+
+* ``refined_critical_wirelength`` — the same with Cap_pin replaced by the
+  actual downstream Cap_load (the paper's L-hat refinement);
+
+* ``insertion_delay_lower_bound`` — Eq. (7), the most conservative delay a
+  future buffer at a node can add, used to pre-charge node delays during
+  bottom-up merging so that upstream merges cause no downstream rework.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tech.buffer_library import BufferLibrary, BufferType
+from repro.tech.technology import LN9, Technology
+
+
+def critical_wirelength(
+    buf: BufferType, tech: Technology, cap_pin: float | None = None
+) -> float:
+    """Break-even wirelength (um) for inserting ``buf`` mid-wire.
+
+    Below this length an intermediate buffer adds more delay (its intrinsic
+    and load terms) than it saves by shortening the quadratic wire delay.
+    """
+    if cap_pin is None:
+        cap_pin = buf.input_cap
+    rc = tech.rc_per_um2_ps()
+    numerator = buf.omega_c * cap_pin + buf.omega_i
+    denominator = rc * (LN9 * buf.omega_s + 1.0)
+    if denominator <= 0:
+        raise ValueError("non-positive wire RC constant")
+    return 2.0 * math.sqrt(numerator / denominator)
+
+
+def refined_critical_wirelength(
+    buf: BufferType, tech: Technology, cap_load: float
+) -> float:
+    """Paper's L-hat(i,j): critical length with the real downstream load."""
+    if cap_load < 0:
+        raise ValueError(f"negative load {cap_load}")
+    return critical_wirelength(buf, tech, cap_pin=cap_load)
+
+
+def insertion_delay_lower_bound(lib: BufferLibrary, cap_load: float) -> float:
+    """Paper Eq. (7): conservative lower bound of a future buffer's delay.
+
+        D-hat_buf = min_lib(omega_c) * Cap_load + min_lib(omega_i)
+    """
+    if cap_load < 0:
+        raise ValueError(f"negative load {cap_load}")
+    return lib.min_omega_c() * cap_load + lib.min_omega_i()

@@ -1,0 +1,5 @@
+"""Visualisation: render routed clock trees to SVG (no plotting deps)."""
+
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = ["render_svg", "save_svg"]

@@ -1,0 +1,103 @@
+"""Plain-text SVG rendering of routed clock trees.
+
+Produces the Fig. 1 style pictures: wires as rectilinear (L-shaped)
+polylines, sinks as filled squares, buffers as triangles, the source as a
+diamond.  Pure string assembly — no drawing library — so it runs anywhere
+and the output is easy to diff and to embed in docs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import rectilinear_segments
+
+_WIRE_STYLE = 'stroke="#2a6f97" stroke-width="{w}" fill="none"'
+_SINK_STYLE = 'fill="#c1121f"'
+_BUF_STYLE = 'fill="#588157"'
+_SRC_STYLE = 'fill="#ffb703" stroke="#1d3557" stroke-width="{w}"'
+
+
+def render_svg(
+    tree: RoutedTree,
+    width: int = 640,
+    margin: float = 0.06,
+    title: str | None = None,
+) -> str:
+    """Render ``tree`` as an SVG document string.
+
+    The viewport is fitted to the tree's bounding box with a relative
+    ``margin``; y is flipped so the layout reads like a die plot (origin
+    at the lower left).
+    """
+    xs = [tree.node(n).location.x for n in tree.node_ids()]
+    ys = [tree.node(n).location.y for n in tree.node_ids()]
+    span = max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+    pad = span * margin
+    x0, y0 = min(xs) - pad, min(ys) - pad
+    extent = span + 2 * pad
+    scale = width / extent
+    height = width
+
+    def sx(x: float) -> float:
+        return (x - x0) * scale
+
+    def sy(y: float) -> float:
+        return height - (y - y0) * scale  # flip: die coordinates go up
+
+    stroke = max(1.0, width / 320.0)
+    marker = max(2.0, width / 128.0)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fdfdfb"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="{marker * 3:.1f}" '
+            f'text-anchor="middle" font-family="monospace" '
+            f'font-size="{marker * 2.2:.1f}">{_escape(title)}</text>'
+        )
+
+    wire_style = _WIRE_STYLE.format(w=f"{stroke:.2f}")
+    for a, b in rectilinear_segments(tree):
+        parts.append(
+            f'<line x1="{sx(a.x):.2f}" y1="{sy(a.y):.2f}" '
+            f'x2="{sx(b.x):.2f}" y2="{sy(b.y):.2f}" {wire_style}/>'
+        )
+
+    for nid in tree.node_ids():
+        node = tree.node(nid)
+        cx, cy = sx(node.location.x), sy(node.location.y)
+        if nid == tree.root:
+            r = marker * 1.6
+            pts = f"{cx:.2f},{cy - r:.2f} {cx + r:.2f},{cy:.2f} " \
+                  f"{cx:.2f},{cy + r:.2f} {cx - r:.2f},{cy:.2f}"
+            style = _SRC_STYLE.format(w=f"{stroke:.2f}")
+            parts.append(f'<polygon points="{pts}" {style}/>')
+        elif node.is_buffer:
+            r = marker * 1.2
+            pts = f"{cx:.2f},{cy - r:.2f} {cx + r:.2f},{cy + r:.2f} " \
+                  f"{cx - r:.2f},{cy + r:.2f}"
+            parts.append(f'<polygon points="{pts}" {_BUF_STYLE}/>')
+        elif node.is_sink:
+            r = marker
+            parts.append(
+                f'<rect x="{cx - r:.2f}" y="{cy - r:.2f}" '
+                f'width="{2 * r:.2f}" height="{2 * r:.2f}" {_SINK_STYLE}/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(tree: RoutedTree, path: str | Path, **kwargs) -> None:
+    """Render and write to ``path``."""
+    Path(path).write_text(render_svg(tree, **kwargs))
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

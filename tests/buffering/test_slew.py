@@ -1,0 +1,64 @@
+"""Tests for slew-derived span limits."""
+
+import math
+
+import pytest
+
+from repro.buffering.estimation import max_span_for_slew
+from repro.cts import Constraints
+from repro.cts.framework import FlowConfig, HierarchicalCTS
+from repro.cts.evaluation import evaluate_result
+from repro.geometry import Point
+from repro.netlist import Sink
+from repro.tech import Technology
+from repro.tech.technology import LN9
+import random
+
+
+def test_span_formula():
+    tech = Technology()
+    span = max_span_for_slew(tech, max_slew=30.0)
+    # at that span the wire's own slew equals the limit
+    slew = LN9 * tech.rc_per_um2_ps() * span * span / 2.0
+    assert math.isclose(slew, 30.0, rel_tol=1e-9)
+
+
+def test_span_monotone_in_limit():
+    tech = Technology()
+    assert max_span_for_slew(tech, 10.0) < max_span_for_slew(tech, 40.0)
+    with pytest.raises(ValueError):
+        max_span_for_slew(tech, 0.0)
+
+
+def test_constraints_effective_span():
+    tech = Technology()
+    loose = Constraints()  # no slew constraint
+    assert loose.effective_span(tech) == loose.max_length
+    tight = Constraints(max_slew=5.0)
+    assert tight.effective_span(tech) < tight.max_length
+    unconstraining = Constraints(max_slew=1000.0)
+    assert unconstraining.effective_span(tech) == unconstraining.max_length
+    with pytest.raises(ValueError):
+        Constraints(max_slew=-1.0)
+
+
+def test_flow_with_slew_constraint_limits_slew():
+    tech = Technology()
+    rng = random.Random(2)
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 300), rng.uniform(0, 300)))
+        for i in range(120)
+    ]
+    cons = Constraints(max_slew=12.0)
+    flow = HierarchicalCTS(
+        tech=tech, constraints=cons,
+        config=FlowConfig(sa_iterations=30),
+    )
+    result = flow.run(sinks, Point(150, 150))
+    rep = evaluate_result(result, tech)
+    assert rep.skew_ps <= cons.skew_bound
+    # a tighter slew limit must not produce fewer buffers than no limit
+    loose = HierarchicalCTS(
+        tech=tech, config=FlowConfig(sa_iterations=30),
+    ).run(sinks, Point(150, 150))
+    assert rep.num_buffers >= evaluate_result(loose, tech).num_buffers

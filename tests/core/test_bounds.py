@@ -1,0 +1,64 @@
+"""Tests for Theorem 2.3 (shallowness/skewness mutual exclusion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import dispersion, evaluate_tree, shallow_skew_exclusive
+from repro.geometry import Point
+from repro.netlist import ClockNet, Sink
+from repro.rsmt import rsmt
+from repro.salt import salt
+
+
+def test_dispersion_ring_is_one():
+    """Sinks on a Manhattan circle around the source: dispersion == 1."""
+    net = ClockNet("n", Point(0, 0), [
+        Sink("a", Point(10, 0)), Sink("b", Point(0, 10)),
+        Sink("c", Point(-10, 0)), Sink("d", Point(5, 5)),
+    ])
+    assert dispersion(net) == pytest.approx(1.0)
+    assert not shallow_skew_exclusive(net, eps=0.05)
+
+
+def test_dispersion_spread():
+    net = ClockNet("n", Point(0, 0),
+                   [Sink("near", Point(1, 0)), Sink("far", Point(99, 0))])
+    assert dispersion(net) == pytest.approx(99 / 50)
+    assert shallow_skew_exclusive(net, eps=0.1)   # 1.98 > 1.21
+    assert not shallow_skew_exclusive(net, eps=0.5)  # 1.98 < 2.25
+
+
+def test_negative_eps_rejected():
+    net = ClockNet("n", Point(0, 0), [Sink("a", Point(1, 1))])
+    with pytest.raises(ValueError):
+        shallow_skew_exclusive(net, -0.1)
+
+
+def test_all_sinks_on_source():
+    net = ClockNet("n", Point(0, 0),
+                   [Sink("a", Point(0, 0)), Sink("b", Point(0, 0))])
+    assert dispersion(net) == 1.0
+
+
+@given(st.integers(min_value=3, max_value=12),
+       st.integers(min_value=0, max_value=10**6),
+       st.sampled_from([0.05, 0.1, 0.3]))
+@settings(max_examples=40, deadline=None)
+def test_theorem_2_3_on_constructed_trees(n, seed, eps):
+    """No tree we can build violates the theorem: whenever Eq. (4) holds,
+    every constructed tree has alpha > 1+eps or gamma > 1+eps."""
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, 80), rng.uniform(0, 80))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    net = ClockNet("n", Point(rng.uniform(0, 80), rng.uniform(0, 80)),
+                   [Sink(f"s{i}", p) for i, p in enumerate(pts)])
+    if not shallow_skew_exclusive(net, eps):
+        return
+    for tree in (rsmt(net), salt(net, eps=0.0), salt(net, eps=eps)):
+        m = evaluate_tree(tree, net)
+        assert m.alpha > 1 + eps - 1e-6 or m.gamma > 1 + eps - 1e-6

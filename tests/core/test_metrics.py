@@ -1,0 +1,109 @@
+"""Tests for SLLT metrics (alpha, beta, gamma)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TreeMetrics, evaluate_tree, is_sllt
+from repro.geometry import Point
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.rsmt import rsmt
+from repro.salt import salt
+
+
+def two_sink_net():
+    return ClockNet("n", Point(0, 0),
+                    [Sink("a", Point(10, 0)), Sink("b", Point(0, 4))])
+
+
+def direct_tree(net):
+    tree = RoutedTree(net.source)
+    for s in net.sinks:
+        tree.add_child(tree.root, s.location, sink=s)
+    return tree
+
+
+def test_metrics_direct_star():
+    net = two_sink_net()
+    m = evaluate_tree(direct_tree(net), net)
+    assert m.max_pl == 10
+    assert m.min_pl == 4
+    assert m.mean_pl == 7
+    assert m.total_wl == 14
+    assert m.alpha == pytest.approx(1.0)   # direct edges are shortest paths
+    assert m.gamma == pytest.approx(10 / 7)
+    assert m.pl_skew == 6
+    assert m.mean_score == pytest.approx((m.alpha + m.beta + m.gamma) / 3)
+
+
+def test_beta_relative_to_rsmt():
+    net = two_sink_net()
+    tree = direct_tree(net)
+    denominator = rsmt(net).wirelength()
+    m = evaluate_tree(tree, net, rsmt_wl=denominator)
+    assert m.beta == pytest.approx(tree.wirelength() / denominator)
+    # explicit denominator must agree with the recomputed one
+    assert m.beta == pytest.approx(evaluate_tree(tree, net).beta)
+
+
+def test_gamma_one_for_equal_paths():
+    net = ClockNet("n", Point(0, 0),
+                   [Sink("a", Point(5, 0)), Sink("b", Point(0, 5))])
+    m = evaluate_tree(direct_tree(net), net)
+    assert m.gamma == pytest.approx(1.0)
+
+
+def test_empty_tree_rejected():
+    net = two_sink_net()
+    with pytest.raises(ValueError):
+        evaluate_tree(RoutedTree(net.source), net)
+
+
+def test_detour_counts_into_alpha():
+    net = two_sink_net()
+    tree = direct_tree(net)
+    sink_nid = tree.sink_node_ids()[0]
+    tree.set_detour(sink_nid, 5.0)
+    m = evaluate_tree(tree, net)
+    assert m.alpha > 1.0
+
+
+def test_is_sllt_verdicts():
+    net = two_sink_net()
+    m = evaluate_tree(direct_tree(net), net)
+    report = is_sllt(m, alpha_bound=1.0, beta_bound=2.0, gamma_bound=1.5)
+    assert report.alpha_ok and report.beta_ok and report.gamma_ok
+    assert report.ok
+    tight = is_sllt(m, alpha_bound=1.0, beta_bound=2.0, gamma_bound=1.01)
+    assert not tight.gamma_ok and not tight.ok
+
+
+def test_is_sllt_rejects_sub_one_bounds():
+    net = two_sink_net()
+    m = evaluate_tree(direct_tree(net), net)
+    with pytest.raises(ValueError):
+        is_sllt(m, 0.5, 1.0, 1.0)
+
+
+@given(st.integers(min_value=2, max_value=15),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_metric_invariants_random(n, seed):
+    """alpha >= 1, beta >= ~1, gamma >= 1 on arbitrary constructed trees."""
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, 60), rng.uniform(0, 60))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    net = ClockNet("n", Point(rng.uniform(0, 60), rng.uniform(0, 60)),
+                   [Sink(f"s{i}", p) for i, p in enumerate(pts)])
+    tree = salt(net, eps=rng.choice([0.0, 0.3, 2.0]))
+    m = evaluate_tree(tree, net)
+    assert m.alpha >= 1.0 - 1e-9
+    assert m.gamma >= 1.0 - 1e-9
+    assert m.min_pl <= m.mean_pl <= m.max_pl + 1e-9
+    # beta can dip slightly below 1 only because the denominator is itself
+    # a heuristic; it must stay in a sane band
+    assert m.beta > 0.5

@@ -1,0 +1,90 @@
+"""Tests for linear/Elmore metric transformations."""
+
+import random
+
+import pytest
+
+from repro.core import cbs
+from repro.core.transforms import (
+    DomainFit,
+    fit_ps_per_um,
+    skew_bound_to_ps,
+    skew_bound_to_um,
+)
+from repro.dme import zst_dme
+from repro.geometry import Point
+from repro.netlist import ClockNet, Sink
+from repro.rsmt import rsmt
+from repro.salt import salt
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def random_net(rng, n=20, box=75.0):
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, box), rng.uniform(0, box))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet("n", Point(rng.uniform(0, box), rng.uniform(0, box)),
+                    [Sink(f"s{i}", p, cap=1.0) for i, p in enumerate(pts)])
+
+
+def test_fit_is_positive_and_reasonable():
+    rng = random.Random(0)
+    net = random_net(rng)
+    tree = salt(net, eps=0.1)
+    fit = fit_ps_per_um(tree, Technology())
+    assert fit.ps_per_um > 0
+    # longer paths drive more wire below them: the fitted slope sits near
+    # the wire's analytic scale r*(c*L + C_load) ~ 0.01..0.2 ps/um here
+    assert 0.001 < fit.ps_per_um < 1.0
+
+
+def test_fit_degenerate_zst():
+    """A perfect ZST has equal path lengths — the fallback slope engages."""
+    rng = random.Random(1)
+    net = random_net(rng, n=8)
+    tree = zst_dme(net)
+    fit = fit_ps_per_um(tree, Technology())
+    assert fit.ps_per_um > 0
+
+
+def test_fit_needs_two_sinks():
+    net = ClockNet("n", Point(0, 0), [Sink("s", Point(5, 5))])
+    with pytest.raises(ValueError):
+        fit_ps_per_um(rsmt(net), Technology())
+
+
+def test_bound_conversions_roundtrip():
+    fit = DomainFit(ps_per_um=0.05, intercept_ps=1.0, residual_ps=0.1)
+    um = skew_bound_to_um(10.0, fit, safety=1.25)
+    back = skew_bound_to_ps(um, fit, safety=1.25)
+    # converting down then up with the same safety overshoots by safety^2
+    assert back == pytest.approx(10.0 * 1.25 * 1.25 / 1.25**2 * 1.25**0, rel=1)
+    assert um == pytest.approx(10.0 / (0.05 * 1.25))
+    with pytest.raises(ValueError):
+        skew_bound_to_um(-1.0, fit)
+    with pytest.raises(ValueError):
+        skew_bound_to_ps(-1.0, fit)
+
+
+def test_transformed_bound_controls_elmore_skew():
+    """End-to-end: run linear-model CBS against a ps specification via the
+    calibrated conversion, then verify the Elmore skew."""
+    tech = Technology()
+    rng = random.Random(3)
+    analyzer = ElmoreAnalyzer(tech)
+    hits = 0
+    for _ in range(6):
+        net = random_net(rng, n=18)
+        probe = salt(net, eps=0.2)
+        fit = fit_ps_per_um(probe, tech)
+        bound_ps = 5.0
+        bound_um = skew_bound_to_um(bound_ps, fit, safety=1.5)
+        tree = cbs(net, skew_bound=bound_um)   # linear model
+        skew = analyzer.analyze(tree).skew
+        if skew <= bound_ps + 1e-6:
+            hits += 1
+    # the conversion is calibrated, not exact: most nets must land inside
+    assert hits >= 4

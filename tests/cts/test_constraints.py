@@ -1,0 +1,28 @@
+"""Tests for the Table 5 constraint set."""
+
+import pytest
+
+from repro.cts import Constraints, TABLE5
+
+
+def test_table5_values():
+    assert TABLE5.skew_bound == 80.0
+    assert TABLE5.max_fanout == 32
+    assert TABLE5.max_cap == 150.0
+    assert TABLE5.max_length == 300.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Constraints(skew_bound=-1)
+    with pytest.raises(ValueError):
+        Constraints(max_fanout=0)
+    with pytest.raises(ValueError):
+        Constraints(max_cap=0)
+    with pytest.raises(ValueError):
+        Constraints(max_length=-5)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        TABLE5.max_fanout = 64  # type: ignore[misc]

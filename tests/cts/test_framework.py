@@ -1,0 +1,131 @@
+"""Tests for the hierarchical CTS framework."""
+
+import random
+
+import pytest
+
+from repro.cts import (
+    Constraints,
+    FlowConfig,
+    HierarchicalCTS,
+    TABLE5,
+)
+from repro.cts.evaluation import evaluate_result, evaluate_solution
+from repro.dme import bst_dme
+from repro.geometry import Point
+from repro.netlist import Sink
+from repro.tech import Technology
+
+
+def make_sinks(n, box=150.0, seed=0):
+    rng = random.Random(seed)
+    return [
+        Sink(f"ff{i}", Point(rng.uniform(0, box), rng.uniform(0, box)), cap=1.0)
+        for i in range(n)
+    ]
+
+
+def run_flow(n=200, **cfg_kwargs):
+    tech = Technology()
+    cfg = FlowConfig(sa_iterations=50, **cfg_kwargs)
+    flow = HierarchicalCTS(tech=tech, config=cfg)
+    sinks = make_sinks(n)
+    result = flow.run(sinks, Point(75.0, 75.0))
+    return result, tech
+
+
+def test_flow_reaches_all_sinks():
+    result, tech = run_flow(n=200)
+    leaf_sinks = [s for s in result.tree.sinks()]
+    assert len(leaf_sinks) == 200
+    assert sorted(s.name for s in leaf_sinks) == sorted(
+        f"ff{i}" for i in range(200)
+    )
+    result.tree.validate()
+
+
+def test_flow_respects_fanout_per_stage():
+    result, tech = run_flow(n=300)
+    tree = result.tree
+    # between consecutive buffers, the fanout of sinks+buffers must stay
+    # within the constraint: check each buffer's direct stage loads
+    for nid in tree.buffer_node_ids():
+        loads = 0
+        stack = list(tree.node(nid).children)
+        while stack:
+            cur = stack.pop()
+            node = tree.node(cur)
+            if node.is_buffer or node.is_sink:
+                loads += 1
+                if node.is_buffer:
+                    continue
+            stack.extend(node.children)
+        assert loads <= TABLE5.max_fanout
+
+
+def test_flow_skew_within_constraint():
+    result, tech = run_flow(n=250)
+    report = evaluate_result(result, tech)
+    assert report.skew_ps <= TABLE5.skew_bound
+    assert report.latency_ps > 0
+    assert report.num_buffers >= 1
+    assert report.clock_wl_um > 0
+
+
+def test_flow_small_design_single_net():
+    """Designs under the fanout limit route as one net from the source."""
+    result, tech = run_flow(n=20)
+    assert result.levels == []
+    assert len(result.tree.sinks()) == 20
+
+
+def test_flow_empty_rejected():
+    flow = HierarchicalCTS()
+    with pytest.raises(ValueError):
+        flow.run([], Point(0, 0))
+
+
+def test_flow_levels_shrink():
+    result, _ = run_flow(n=400)
+    counts = [lv.num_sinks for lv in result.levels]
+    assert counts == sorted(counts, reverse=True)
+    assert all(lv.num_clusters < lv.num_sinks for lv in result.levels)
+
+
+def test_flow_sa_toggle():
+    with_sa, _ = run_flow(n=150, use_sa=True)
+    without_sa, _ = run_flow(n=150, use_sa=False)
+    for lv in without_sa.levels:
+        assert lv.sa_cost_before == lv.sa_cost_after
+    assert len(with_sa.tree.sinks()) == len(without_sa.tree.sinks())
+
+
+def test_flow_custom_router():
+    calls = []
+
+    def router(net, bound, model):
+        calls.append(net.name)
+        return bst_dme(net, bound, model=model)
+
+    result, tech = run_flow(n=100, router=router)
+    assert calls, "custom router must be used"
+    assert len(result.tree.sinks()) == 100
+
+
+def test_flow_insertion_estimate_toggle():
+    est, tech = run_flow(n=150, use_insertion_estimate=True)
+    exact, _ = run_flow(n=150, use_insertion_estimate=False)
+    rep_est = evaluate_result(est, tech)
+    rep_exact = evaluate_result(exact, tech)
+    # both legal; the estimate-based flow should not be wildly worse
+    assert rep_est.skew_ps <= TABLE5.skew_bound
+    assert rep_exact.skew_ps <= TABLE5.skew_bound
+
+
+def test_evaluate_solution_counts_buffers():
+    result, tech = run_flow(n=120)
+    rep = evaluate_solution(result.tree, tech, runtime_s=1.5)
+    assert rep.runtime_s == 1.5
+    assert rep.num_buffers == len(result.tree.buffer_node_ids())
+    assert rep.buffer_area_um2 > 0
+    assert len(rep.row()) == 7

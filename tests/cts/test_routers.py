@@ -1,0 +1,82 @@
+"""Tests for the Section 3.3 routing policies."""
+
+import random
+
+import pytest
+
+from repro.cts import FlowConfig, HierarchicalCTS, TABLE5
+from repro.cts.evaluation import evaluate_result
+from repro.cts.routers import (
+    ROUTER_POLICIES,
+    balanced,
+    latency_first,
+    routability_first,
+    skew_first,
+)
+from repro.dme import ElmoreDelay
+from repro.geometry import Point
+from repro.netlist import ClockNet, Sink
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def random_net(rng, n=20, box=75.0):
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, box), rng.uniform(0, box))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet("n", Point(rng.uniform(0, box), rng.uniform(0, box)),
+                    [Sink(f"s{i}", p, cap=1.0) for i, p in enumerate(pts)])
+
+
+@pytest.mark.parametrize("name", sorted(ROUTER_POLICIES))
+def test_every_policy_respects_bound(name):
+    tech = Technology()
+    analyzer = ElmoreAnalyzer(tech)
+    policy = ROUTER_POLICIES[name]
+    rng = random.Random(11)
+    for bound in (5.0, 80.0):
+        net = random_net(rng)
+        tree = policy(net, bound, ElmoreDelay(tech))
+        tree.validate()
+        assert len(tree.sinks()) == net.fanout
+        assert analyzer.analyze(tree).skew <= bound + 1e-6, (name, bound)
+
+
+def test_policy_characters():
+    """Each policy shows its stated bias on the same net."""
+    tech = Technology()
+    model = ElmoreDelay(tech)
+    analyzer = ElmoreAnalyzer(tech)
+    rng = random.Random(5)
+    bound = 80.0
+    wl = {}
+    lat = {}
+    for _ in range(5):
+        net = random_net(rng, n=25)
+        for name, policy in ROUTER_POLICIES.items():
+            tree = policy(net, bound, model)
+            wl[name] = wl.get(name, 0.0) + tree.wirelength()
+            lat[name] = lat.get(name, 0.0) + analyzer.analyze(tree).latency
+    # routability_first must be the lightest (FLUTE-like)
+    assert wl["routability_first"] == min(wl.values())
+    # latency_first must beat the skew-tree on latency
+    assert lat["latency_first"] < lat["skew_first"]
+    # balanced (CBS) sits at or below the skew tree on both axes
+    assert wl["balanced"] < wl["skew_first"]
+    assert lat["balanced"] < lat["skew_first"]
+
+
+def test_policies_plug_into_framework():
+    tech = Technology()
+    rng = random.Random(9)
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 120), rng.uniform(0, 120)))
+        for i in range(150)
+    ]
+    cfg = FlowConfig(router=routability_first, sa_iterations=30)
+    result = HierarchicalCTS(tech=tech, config=cfg).run(sinks, Point(60, 60))
+    rep = evaluate_result(result, tech)
+    assert rep.skew_ps <= TABLE5.skew_bound
+    assert len(result.tree.sinks()) == 150

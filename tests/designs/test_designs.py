@@ -1,0 +1,88 @@
+"""Tests for the synthetic design generator and Table 4 catalog."""
+
+import math
+
+import pytest
+
+from repro.designs import (
+    TABLE4_SPECS,
+    design_names,
+    generate_design,
+    load_design,
+)
+from repro.designs.generator import AVG_CELL_AREA, DesignSpec
+
+
+def test_catalog_matches_table4():
+    assert len(TABLE4_SPECS) == 10
+    s = TABLE4_SPECS["s38584"]
+    assert s.num_insts == 7510 and s.num_ffs == 1248 and s.utilization == 0.60
+    y = TABLE4_SPECS["ysyx_2"]
+    assert y.num_insts == 139178 and y.num_ffs == 27078
+    assert set(design_names()) == set(TABLE4_SPECS)
+
+
+def test_die_side_formula():
+    spec = TABLE4_SPECS["s38584"]
+    expected = math.sqrt(7510 * AVG_CELL_AREA / 0.60)
+    assert spec.die_side() == pytest.approx(expected)
+
+
+def test_generate_design_counts_and_bounds():
+    d = load_design("s38417")
+    assert len(d.sinks) == 1564
+    for s in d.sinks:
+        assert 0 <= s.location.x <= d.die_side
+        assert 0 <= s.location.y <= d.die_side
+        assert 0.5 <= s.cap <= 2.0
+    # source at die center
+    assert d.source.x == pytest.approx(d.die_side / 2)
+
+
+def test_generate_design_deterministic():
+    a = load_design("salsa20")
+    b = load_design("salsa20")
+    assert [s.location for s in a.sinks] == [s.location for s in b.sinks]
+
+
+def test_designs_differ():
+    a = load_design("ysyx_0", scale=0.05)
+    b = load_design("ysyx_1", scale=0.05)
+    assert [s.location for s in a.sinks] != [s.location for s in b.sinks]
+
+
+def test_scale_shrinks():
+    full = load_design("s35932")
+    small = load_design("s35932", scale=0.1)
+    assert len(small.sinks) == pytest.approx(0.1 * len(full.sinks), rel=0.05)
+    assert small.die_side == pytest.approx(full.die_side * math.sqrt(0.1))
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        load_design("s38584", scale=0.0)
+    with pytest.raises(ValueError):
+        load_design("s38584", scale=1.5)
+
+
+def test_unknown_design():
+    with pytest.raises(KeyError):
+        load_design("nope")
+
+
+def test_sinks_are_clustered():
+    """The module mixture must produce visible clustering: the variance of
+    local density exceeds a uniform placement's."""
+    d = load_design("ethernet", scale=0.2)
+    side = d.die_side
+    bins = 8
+    counts = [[0] * bins for _ in range(bins)]
+    for s in d.sinks:
+        i = min(bins - 1, int(s.location.x / side * bins))
+        j = min(bins - 1, int(s.location.y / side * bins))
+        counts[i][j] += 1
+    flat = [c for row in counts for c in row]
+    mean = sum(flat) / len(flat)
+    var = sum((c - mean) ** 2 for c in flat) / len(flat)
+    # Poisson (uniform) would give var ~ mean; clustering inflates it
+    assert var > 2.0 * mean

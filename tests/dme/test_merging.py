@@ -1,0 +1,159 @@
+"""Tests for the bottom-up merge arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dme.merging import MergeSpec, merge_specs
+from repro.dme.models import ElmoreDelay, LinearDelay
+from repro.geometry import Point, rotate45
+from repro.geometry.segment import Rect
+from repro.tech import Technology
+
+
+def leaf(x, y, delay=0.0, cap=1.0):
+    return MergeSpec(
+        region=Rect.from_point(rotate45(Point(x, y))),
+        lo=delay, hi=delay, cap=cap,
+    )
+
+
+def test_balanced_merge_linear():
+    a = leaf(0, 0)
+    b = leaf(10, 0)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=0.0)
+    # zero bound: window degenerates to the exact balanced split
+    assert merged.win_left == pytest.approx((5.0, 5.0))
+    assert merged.win_right == pytest.approx((5.0, 5.0))
+    assert merged.width == pytest.approx(0.0)
+    assert merged.lo == pytest.approx(5.0)
+
+
+def test_unbalanced_children_shift_split():
+    a = leaf(0, 0, delay=4.0)   # a is slower
+    b = leaf(10, 0, delay=0.0)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=0.0)
+    assert merged.win_left == pytest.approx((3.0, 3.0))
+    assert merged.win_right == pytest.approx((7.0, 7.0))
+    assert merged.width == pytest.approx(0.0)
+
+
+def test_detour_when_imbalance_exceeds_distance():
+    a = leaf(0, 0, delay=30.0)
+    b = leaf(10, 0, delay=0.0)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=0.0)
+    assert merged.win_left == (0.0, 0.0)
+    assert merged.win_right == pytest.approx((30.0, 30.0))  # snaked
+    assert merged.width == pytest.approx(0.0)
+
+
+def test_skew_slack_avoids_detour():
+    """With enough slack, the same children merge without snaking."""
+    a = leaf(0, 0, delay=30.0)
+    b = leaf(10, 0, delay=0.0)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=25.0)
+    # no detour: the arm windows stay within the connection distance
+    assert merged.win_left[1] + merged.win_right[1] <= 10.0 + 1e-9
+    assert merged.width <= 25.0 + 1e-9
+
+
+def test_partial_slack_minimal_detour():
+    a = leaf(0, 0, delay=30.0)
+    b = leaf(10, 0, delay=0.0)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=5.0)
+    # b's arm must realise at least 30 - 5 = 25 of delay
+    assert merged.win_left == (0.0, 0.0)
+    assert merged.win_right == pytest.approx((25.0, 25.0))
+    assert merged.width == pytest.approx(5.0)
+
+
+def test_slack_grows_region_when_enabled():
+    """With GROW_REGIONS on, a positive bound widens the arm window.
+
+    Growth is off by default (see the module docstring on why rectangles
+    make it counterproductive); this pins down the experimental path.
+    """
+    from repro.dme import merging
+
+    a = leaf(0, 0)
+    b = leaf(10, 4)  # off-diagonal: the exact-sum region has 2-D room
+    tight = merge_specs(a, b, LinearDelay(), skew_bound=0.0)
+    merging.GROW_REGIONS = True
+    try:
+        loose = merge_specs(a, b, LinearDelay(), skew_bound=8.0)
+    finally:
+        merging.GROW_REGIONS = False
+    span_tight = tight.win_left[1] - tight.win_left[0]
+    span_loose = loose.win_left[1] - loose.win_left[0]
+    assert span_tight == pytest.approx(0.0)
+    assert span_loose > 0.0
+    assert loose.width <= 8.0 + 1e-9
+
+
+def test_default_regions_are_thin():
+    """Without growth, bounded-skew merges commit exact arms (thin window)."""
+    a = leaf(0, 0)
+    b = leaf(10, 4)
+    merged = merge_specs(a, b, LinearDelay(), skew_bound=8.0)
+    assert merged.win_left[0] == pytest.approx(merged.win_left[1])
+    assert merged.win_right[0] == pytest.approx(merged.win_right[1])
+
+
+def test_negative_bound_rejected():
+    with pytest.raises(ValueError):
+        merge_specs(leaf(0, 0), leaf(1, 0), LinearDelay(), skew_bound=-1)
+
+
+def test_elmore_merge_tracks_cap():
+    tech = Technology()
+    model = ElmoreDelay(tech)
+    a = leaf(0, 0, cap=5.0)
+    b = leaf(100, 0, cap=5.0)
+    merged = merge_specs(a, b, model, skew_bound=0.0)
+    assert math.isclose(merged.cap, 10.0 + tech.unit_cap * 100.0)
+    assert merged.width == pytest.approx(0.0, abs=1e-9)
+
+
+def test_elmore_merge_cap_asymmetry():
+    """Heavier subtree gets the shorter arm (its wire delay grows faster)."""
+    model = ElmoreDelay(Technology())
+    a = leaf(0, 0, cap=100.0)
+    b = leaf(100, 0, cap=1.0)
+    merged = merge_specs(a, b, model, skew_bound=0.0)
+    assert merged.win_left[0] < merged.win_right[0]
+
+
+coords = st.floats(min_value=0, max_value=200)
+delays = st.floats(min_value=0, max_value=100)
+bounds = st.floats(min_value=0, max_value=50)
+
+
+@given(coords, coords, coords, coords, delays, delays, bounds)
+@settings(max_examples=120)
+def test_merge_invariants_random(ax, ay, bx, by, da, db, bound):
+    """Bound holds, windows are consistent, region is never empty."""
+    a = leaf(ax, ay, delay=da)
+    b = leaf(bx, by, delay=db)
+    for model in (LinearDelay(), ElmoreDelay(Technology())):
+        merged = merge_specs(a, b, model, skew_bound=bound)
+        d = a.region.distance(b.region)
+        assert merged.width <= bound + 1e-6
+        assert merged.lo <= merged.hi + 1e-9
+        wl, wr = merged.win_left, merged.win_right
+        assert wl[0] <= wl[1] + 1e-9 and wr[0] <= wr[1] + 1e-9
+        # arms can reach across the connection
+        assert wl[1] + wr[1] >= d - 1e-6
+        # the merged interval covers both children's extremes
+        assert merged.lo <= min(a.lo + model.wire_delay(wl[1], a.cap),
+                                b.lo + model.wire_delay(wr[1], b.cap)) + 1e-6
+        assert merged.hi >= max(a.hi + model.wire_delay(wl[0], a.cap),
+                                b.hi + model.wire_delay(wr[0], b.cap)) - 1e-6
+        # every region point realises arms no longer than the windows allow
+        # (shortfalls against the window minimum become detours at embed
+        # time, so only the upper bounds are hard geometric invariants)
+        for corner_u in (merged.region.ulo, merged.region.uhi):
+            for corner_v in (merged.region.vlo, merged.region.vhi):
+                p = Point(corner_u, corner_v)
+                assert a.region.distance_to_point(p) <= wl[1] + 1e-6
+                assert b.region.distance_to_point(p) <= wr[1] + 1e-6

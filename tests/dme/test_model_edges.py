@@ -1,0 +1,83 @@
+"""Edge-case tests for delay models and the generic repair fallback."""
+
+import math
+
+import pytest
+
+from repro.dme.models import DelayModel, ElmoreDelay
+from repro.dme.repair import _extension_for_added_delay, repair_skew
+from repro.geometry import Point
+from repro.netlist import RoutedTree, Sink
+from repro.tech import Technology
+
+
+def test_elmore_zero_wire_cap_inversion():
+    """With c = 0 the inversion is linear in the load."""
+    tech = Technology(unit_res=2.0, unit_cap=0.0)
+    model = ElmoreDelay(tech)
+    # delay = k * L * C with k = 2e-3 ps per ohm*fF
+    delay = model.wire_delay(100.0, 10.0)
+    assert model.extension_for_delay(delay, 10.0) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        model.extension_for_delay(5.0, 0.0)
+
+
+class CubicModel(DelayModel):
+    """A deliberately non-quadratic model to exercise generic fallbacks."""
+
+    unit_cap = 0.0
+
+    def wire_delay(self, length, downstream_cap):
+        return length ** 3 / 1e4 + 0.1 * length
+
+    def extension_for_delay(self, delay, downstream_cap):
+        lo, hi = 0.0, 1.0
+        while self.wire_delay(hi, downstream_cap) < delay:
+            hi *= 2
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            if self.wire_delay(mid, downstream_cap) < delay:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def balance_split(self, total, mid_a, mid_b, cap_a, cap_b):
+        lo, hi = 0.0, total
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            left = mid_a + self.wire_delay(mid, cap_a)
+            right = mid_b + self.wire_delay(total - mid, cap_b)
+            if left < right:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2
+
+
+def test_generic_extension_bisection():
+    model = CubicModel()
+    base_len = 10.0
+    added = 7.0
+    ext = _extension_for_added_delay(model, base_len, added, 0.0)
+    realised = (model.wire_delay(base_len + ext, 0.0)
+                - model.wire_delay(base_len, 0.0))
+    assert realised == pytest.approx(added, rel=1e-6)
+    assert _extension_for_added_delay(model, 5.0, 0.0, 0.0) == 0.0
+
+
+def test_repair_with_custom_model():
+    """repair_skew works with any DelayModel via the generic fallback."""
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(5, 0), sink=Sink("near", Point(5, 0)))
+    tree.add_child(tree.root, Point(40, 0), sink=Sink("far", Point(40, 0)))
+    model = CubicModel()
+    repair_skew(tree, skew_bound=1.0, model=model)
+    arrivals = {}
+    for nid, pl in tree.sink_path_lengths().items():
+        # recompute the model delay along the (single-edge) paths
+        arrivals[tree.node(nid).sink.name] = model.wire_delay(
+            tree.edge_length(nid), 0.0
+        )
+    spread = max(arrivals.values()) - min(arrivals.values())
+    assert spread <= 1.0 + 1e-6

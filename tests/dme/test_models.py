@@ -1,0 +1,64 @@
+"""Tests for DME delay models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dme.models import ElmoreDelay, LinearDelay
+from repro.tech import Technology
+
+lengths = st.floats(min_value=0, max_value=500)
+caps = st.floats(min_value=0, max_value=200)
+
+
+def test_linear_model_identity():
+    m = LinearDelay()
+    assert m.wire_delay(42.0, 100.0) == 42.0
+    assert m.extension_for_delay(13.0, 0.0) == 13.0
+    assert m.unit_cap == 0.0
+
+
+def test_linear_balance_split():
+    m = LinearDelay()
+    # equal delays: split in the middle
+    assert m.balance_split(10, 5, 5, 0, 0) == 5
+    # a slower by 4: shift split 2 toward a
+    assert m.balance_split(10, 9, 5, 0, 0) == 3
+    # a slower by more than the distance: outside [0, L] -> detour signal
+    assert m.balance_split(10, 30, 5, 0, 0) < 0
+
+
+@given(lengths, caps)
+def test_elmore_inversion_roundtrip(length, cap):
+    m = ElmoreDelay(Technology())
+    delay = m.wire_delay(length, cap)
+    back = m.extension_for_delay(delay, cap)
+    assert math.isclose(back, length, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(st.floats(min_value=0.1, max_value=300), caps, caps,
+       st.floats(min_value=-50, max_value=50))
+def test_elmore_balance_split_balances(total, cap_a, cap_b, delta):
+    """At the returned x (when inside [0,L]) both sides' delays match."""
+    m = ElmoreDelay(Technology())
+    mid_a, mid_b = 100.0 + delta, 100.0
+    x = m.balance_split(total, mid_a, mid_b, cap_a, cap_b)
+    if 0 <= x <= total:
+        left = mid_a + m.wire_delay(x, cap_a)
+        right = mid_b + m.wire_delay(total - x, cap_b)
+        assert math.isclose(left, right, rel_tol=1e-6, abs_tol=1e-6)
+
+
+def test_elmore_balance_detour_direction():
+    m = ElmoreDelay(Technology())
+    # a much slower -> x < 0 (a gets no wire, b must be extended)
+    assert m.balance_split(10, 1000.0, 0.0, 1.0, 1.0) < 0
+    # b much slower -> x > L
+    assert m.balance_split(10, 0.0, 1000.0, 1.0, 1.0) > 10
+
+
+def test_elmore_extension_nonpositive_delay():
+    m = ElmoreDelay(Technology())
+    assert m.extension_for_delay(0.0, 10.0) == 0.0
+    assert m.extension_for_delay(-5.0, 10.0) == 0.0

@@ -1,0 +1,123 @@
+"""Unit tests for the pinned-region bounded-skew repair pass."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dme import ElmoreDelay
+from repro.dme.models import LinearDelay
+from repro.dme.repair import repair_skew
+from repro.geometry import Point
+from repro.netlist import ClockNet, RoutedTree, Sink, binarize, sinks_to_leaves
+from repro.rsmt import rsmt
+from repro.salt import salt
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def unbalanced_tree():
+    """root -> near sink (5), far sink (50): skew 45 in the linear model."""
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(5, 0), sink=Sink("near", Point(5, 0)))
+    tree.add_child(tree.root, Point(50, 0), sink=Sink("far", Point(50, 0)))
+    return tree
+
+
+def pl_skew(tree):
+    pls = tree.sink_path_lengths().values()
+    return max(pls) - min(pls)
+
+
+def test_snakes_exactly_to_the_bound():
+    tree = unbalanced_tree()
+    added = repair_skew(tree, skew_bound=10.0)
+    assert pl_skew(tree) == pytest.approx(10.0)
+    assert added == pytest.approx(35.0)  # 45 - 10
+
+
+def test_zero_bound_balances_exactly():
+    tree = unbalanced_tree()
+    repair_skew(tree, skew_bound=0.0)
+    assert pl_skew(tree) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_already_legal_is_noop():
+    tree = unbalanced_tree()
+    before = tree.wirelength()
+    added = repair_skew(tree, skew_bound=100.0)
+    assert added == pytest.approx(0.0)
+    assert tree.wirelength() == before
+
+
+def test_negative_bound_rejected():
+    with pytest.raises(ValueError):
+        repair_skew(unbalanced_tree(), -1.0)
+
+
+def test_relocation_never_violates_and_saves_wire():
+    rng = random.Random(3)
+    for _ in range(5):
+        pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60))
+               for _ in range(15)]
+        net = ClockNet("n", Point(30, 30),
+                       [Sink(f"s{i}", p) for i, p in enumerate(pts)])
+        base = salt(net, eps=0.3)
+        sinks_to_leaves(base)
+        binarize(base)
+        with_reloc = base.copy()
+        without = base.copy()
+        repair_skew(with_reloc, 5.0, relocate=True)
+        repair_skew(without, 5.0, relocate=False)
+        assert pl_skew(with_reloc) <= 5.0 + 1e-6
+        assert pl_skew(without) <= 5.0 + 1e-6
+        assert with_reloc.wirelength() <= without.wirelength() + 1e-6
+
+
+def test_elmore_repair_verified_by_analyzer():
+    tech = Technology()
+    rng = random.Random(7)
+    pts = [Point(rng.uniform(0, 70), rng.uniform(0, 70)) for _ in range(12)]
+    net = ClockNet("n", Point(0, 0),
+                   [Sink(f"s{i}", p, cap=1.5) for i, p in enumerate(pts)])
+    tree = rsmt(net)
+    sinks_to_leaves(tree)
+    binarize(tree)
+    repair_skew(tree, 3.0, model=ElmoreDelay(tech))
+    assert ElmoreAnalyzer(tech).analyze(tree).skew <= 3.0 + 1e-6
+
+
+def test_respects_subtree_delays():
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(10, 0),
+                   sink=Sink("slowed", Point(10, 0), subtree_delay=30.0))
+    tree.add_child(tree.root, Point(10, 1),
+                   sink=Sink("plain", Point(10, 1)))
+    repair_skew(tree, skew_bound=2.0)
+    pls = {tree.node(n).sink.name: pl
+           for n, pl in tree.sink_path_lengths().items()}
+    total = {"slowed": pls["slowed"] + 30.0, "plain": pls["plain"]}
+    assert abs(total["slowed"] - total["plain"]) <= 2.0 + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=14),
+       st.integers(min_value=0, max_value=10**6),
+       st.sampled_from([0.0, 2.0, 15.0]))
+@settings(max_examples=25, deadline=None)
+def test_repair_property(n, seed, bound):
+    """Any legalised tree repairs to within the bound, whatever the seed."""
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, 50), rng.uniform(0, 50))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    net = ClockNet("n", Point(rng.uniform(0, 50), rng.uniform(0, 50)),
+                   [Sink(f"s{i}", p) for i, p in enumerate(pts)])
+    tree = rsmt(net)
+    sinks_to_leaves(tree)
+    binarize(tree)
+    repair_skew(tree, bound, model=LinearDelay())
+    tree.validate()
+    assert pl_skew(tree) <= bound + 1e-6
+    assert len(tree.sinks()) == n

@@ -1,0 +1,130 @@
+"""Tests for useful-skew tree (UST-DME) construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dme import ElmoreDelay, ust_dme, ust_feasible_shift, zst_dme
+from repro.geometry import Point
+from repro.netlist import ClockNet, Sink
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def random_net(rng, n, box=75.0):
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, box), rng.uniform(0, box))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet(
+        "n", Point(rng.uniform(0, box), rng.uniform(0, box)),
+        [Sink(f"s{i}", p, cap=1.0) for i, p in enumerate(pts)],
+    )
+
+
+def linear_arrivals(tree):
+    """Path lengths keyed by sink name (the linear-model arrival)."""
+    return {
+        tree.node(nid).sink.name: pl
+        for nid, pl in tree.sink_path_lengths().items()
+    }
+
+
+def test_feasible_shift_helper():
+    arrivals = {"a": 10.0, "b": 12.0}
+    windows = {"a": (0.0, 5.0), "b": (0.0, 5.0)}
+    shift = ust_feasible_shift(arrivals, windows)
+    assert shift is not None
+    lo, hi = shift
+    assert lo <= hi
+    # shift -10 puts a at 0, b at 2 — inside both windows
+    assert lo <= -10.0 <= hi or lo <= -12.0 + 5.0
+    assert ust_feasible_shift({"a": 0.0, "b": 100.0},
+                              {"a": (0, 1), "b": (0, 1)}) is None
+
+
+def test_zero_windows_reduce_to_zst():
+    rng = random.Random(1)
+    net = random_net(rng, 10)
+    windows = {s.name: (0.0, 0.0) for s in net.sinks}
+    ust = ust_dme(net, windows)
+    arrivals = linear_arrivals(ust)
+    spread = max(arrivals.values()) - min(arrivals.values())
+    assert spread == pytest.approx(0.0, abs=1e-6)
+    # same wirelength class as a ZST on the same topology
+    zst = zst_dme(net)
+    assert ust.wirelength() == pytest.approx(zst.wirelength(), rel=1e-6)
+
+
+def test_uniform_windows_behave_like_bst():
+    rng = random.Random(2)
+    net = random_net(rng, 12)
+    bound = 15.0
+    windows = {s.name: (0.0, bound) for s in net.sinks}
+    tree = ust_dme(net, windows)
+    arrivals = linear_arrivals(tree)
+    assert max(arrivals.values()) - min(arrivals.values()) <= bound + 1e-6
+
+
+def test_asymmetric_windows_satisfied():
+    """Sinks with late windows may arrive later — useful skew."""
+    rng = random.Random(3)
+    net = random_net(rng, 8)
+    windows = {}
+    for i, s in enumerate(net.sinks):
+        if i % 2 == 0:
+            windows[s.name] = (0.0, 3.0)
+        else:
+            windows[s.name] = (20.0, 25.0)   # deliberately late group
+    tree = ust_dme(net, windows)
+    tree.validate()
+    assert ust_feasible_shift(linear_arrivals(tree), windows) is not None
+    # the late group really does arrive later
+    arrivals = linear_arrivals(tree)
+    early = [arrivals[s.name] for i, s in enumerate(net.sinks) if i % 2 == 0]
+    late = [arrivals[s.name] for i, s in enumerate(net.sinks) if i % 2 == 1]
+    assert min(late) > max(early) + 10.0
+
+
+def test_ust_elmore_model():
+    tech = Technology()
+    rng = random.Random(4)
+    net = random_net(rng, 9)
+    windows = {s.name: (0.0, 5.0) for s in net.sinks}
+    tree = ust_dme(net, windows, model=ElmoreDelay(tech))
+    report = ElmoreAnalyzer(tech).analyze(tree)
+    arrivals = {
+        tree.node(nid).sink.name: arr
+        for nid, arr in report.sink_arrival.items()
+    }
+    assert ust_feasible_shift(arrivals, windows) is not None
+
+
+def test_ust_validation():
+    rng = random.Random(5)
+    net = random_net(rng, 4)
+    with pytest.raises(ValueError):
+        ust_dme(net, {})  # missing windows
+    windows = {s.name: (0.0, 1.0) for s in net.sinks}
+    windows[net.sinks[0].name] = (5.0, 2.0)  # inverted
+    with pytest.raises(ValueError):
+        ust_dme(net, windows)
+
+
+@given(st.integers(min_value=2, max_value=12),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_ust_windows_property(n, seed):
+    """Arbitrary random windows are always satisfiable by construction."""
+    rng = random.Random(seed)
+    net = random_net(rng, n)
+    windows = {}
+    for s in net.sinks:
+        a = rng.uniform(0, 30)
+        windows[s.name] = (a, a + rng.uniform(0, 20))
+    tree = ust_dme(net, windows)
+    tree.validate()
+    assert len(tree.sinks()) == n
+    assert ust_feasible_shift(linear_arrivals(tree), windows) is not None

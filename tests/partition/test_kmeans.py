@@ -1,0 +1,93 @@
+"""Tests for (balanced) K-means."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point
+from repro.partition import balanced_kmeans, kmeans, silhouette_score
+
+
+def two_blobs(rng, n_per=20, sep=100.0):
+    pts = [Point(rng.gauss(0, 3), rng.gauss(0, 3)) for _ in range(n_per)]
+    pts += [Point(rng.gauss(sep, 3), rng.gauss(sep, 3)) for _ in range(n_per)]
+    return pts
+
+
+def test_kmeans_separates_blobs():
+    rng = random.Random(0)
+    pts = two_blobs(rng)
+    centers, labels = kmeans(pts, k=2, seed=1)
+    left = {labels[i] for i in range(20)}
+    right = {labels[i] for i in range(20, 40)}
+    assert len(left) == 1 and len(right) == 1 and left != right
+
+
+def test_kmeans_determinism():
+    rng = random.Random(3)
+    pts = two_blobs(rng)
+    a = kmeans(pts, 3, seed=7)
+    b = kmeans(pts, 3, seed=7)
+    assert a[1] == b[1]
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        kmeans([], 2)
+    with pytest.raises(ValueError):
+        kmeans([Point(0, 0)], 0)
+
+
+def test_kmeans_k_clamped_to_n():
+    centers, labels = kmeans([Point(0, 0), Point(1, 1)], k=10)
+    assert len(centers) == 2
+
+
+def test_balanced_kmeans_respects_max_size():
+    rng = random.Random(5)
+    pts = [Point(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(97)]
+    centers, labels = balanced_kmeans(pts, max_size=10, seed=2)
+    counts = [labels.count(j) for j in range(len(centers))]
+    assert max(counts) <= 10
+    assert sum(counts) == 97
+
+
+def test_balanced_kmeans_validation():
+    with pytest.raises(ValueError):
+        balanced_kmeans([Point(0, 0)], max_size=0)
+    with pytest.raises(ValueError):
+        balanced_kmeans([Point(0, 0)], max_size=5, slack=0.0)
+
+
+def test_silhouette_good_vs_bad():
+    rng = random.Random(8)
+    pts = two_blobs(rng)
+    good = [0] * 20 + [1] * 20
+    bad = [i % 2 for i in range(40)]
+    assert silhouette_score(pts, good) > 0.8
+    assert silhouette_score(pts, bad) < silhouette_score(pts, good)
+
+
+def test_silhouette_single_cluster_is_zero():
+    assert silhouette_score([Point(0, 0), Point(1, 1)], [0, 0]) == 0.0
+
+
+def test_silhouette_length_mismatch():
+    with pytest.raises(ValueError):
+        silhouette_score([Point(0, 0)], [0, 1])
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=1, max_value=12),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_balanced_kmeans_property(n, max_size, seed):
+    rng = random.Random(seed)
+    pts = [Point(rng.uniform(0, 30), rng.uniform(0, 30)) for _ in range(n)]
+    centers, labels = balanced_kmeans(pts, max_size=max_size, seed=seed)
+    assert len(labels) == n
+    counts = {}
+    for l in labels:
+        counts[l] = counts.get(l, 0) + 1
+    assert max(counts.values()) <= max_size

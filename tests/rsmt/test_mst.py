@@ -1,0 +1,86 @@
+"""Tests for the rectilinear Prim MST."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.rsmt import rectilinear_mst, rectilinear_mst_length
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+points = st.lists(st.builds(Point, coords, coords), min_size=1, max_size=9)
+
+
+def mst_length_bruteforce(pts):
+    """Kruskal over all spanning trees via enumerating... no — use Prim
+    result checked against the cut property with a simple O(n^2) Kruskal."""
+    n = len(pts)
+    edges = sorted(
+        (manhattan(pts[i], pts[j]), i, j)
+        for i in range(n) for j in range(i + 1, n)
+    )
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0.0
+    for w, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            total += w
+    return total
+
+
+def test_single_point():
+    assert rectilinear_mst([Point(0, 0)]) == [-1]
+    assert rectilinear_mst_length([Point(0, 0)]) == 0.0
+
+
+def test_two_points():
+    parents = rectilinear_mst([Point(0, 0), Point(3, 4)])
+    assert parents == [-1, 0]
+    assert rectilinear_mst_length([Point(0, 0), Point(3, 4)]) == 7
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        rectilinear_mst([])
+
+
+def test_bad_root_rejected():
+    with pytest.raises(ValueError):
+        rectilinear_mst([Point(0, 0)], root=5)
+
+
+def test_parent_array_is_tree():
+    pts = [Point(0, 0), Point(1, 5), Point(4, 1), Point(6, 6), Point(2, 2)]
+    parents = rectilinear_mst(pts, root=2)
+    assert parents[2] == -1
+    assert sum(1 for p in parents if p == -1) == 1
+    # every node reaches the root
+    for i in range(len(pts)):
+        seen = set()
+        cur = i
+        while cur != -1:
+            assert cur not in seen, "cycle in parent array"
+            seen.add(cur)
+            cur = parents[cur]
+
+
+@given(points)
+@settings(max_examples=60)
+def test_prim_matches_kruskal(pts):
+    """Prim MST length equals Kruskal MST length (both optimal)."""
+    parents = rectilinear_mst(pts)
+    prim_len = sum(
+        manhattan(pts[i], pts[parents[i]])
+        for i in range(len(pts)) if parents[i] != -1
+    )
+    assert abs(prim_len - mst_length_bruteforce(pts)) < 1e-6
+    assert abs(rectilinear_mst_length(pts) - prim_len) < 1e-6

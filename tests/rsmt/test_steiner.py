@@ -1,0 +1,108 @@
+"""Tests for steinerisation, iterated 1-Steiner and the RSMT front-end."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.rsmt import (
+    iterated_one_steiner,
+    median_steinerize,
+    rectilinear_mst_length,
+    rsmt,
+    rsmt_wirelength,
+)
+from repro.rsmt.one_steiner import hanan_points
+
+
+def test_hanan_points_cross():
+    pts = [Point(0, 0), Point(2, 2)]
+    hanan = hanan_points(pts)
+    assert set((p.x, p.y) for p in hanan) == {(0, 2), (2, 0)}
+
+
+def test_one_steiner_classic_cross():
+    """Four points in a plus shape: one Steiner point at the centre saves
+    wirelength; MST = 3 edges of length 2 = 6, Steiner tree = 4."""
+    pts = [Point(1, 0), Point(0, 1), Point(2, 1), Point(1, 2)]
+    chosen = iterated_one_steiner(pts)
+    assert len(chosen) >= 1
+    assert abs(rectilinear_mst_length(pts + chosen) - 4.0) < 1e-9
+
+
+def test_one_steiner_no_gain_on_line():
+    pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+    assert iterated_one_steiner(pts) == []
+
+
+def test_median_steinerize_star():
+    """Root with two children on the same side: median point shares trunk."""
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(4, 1), sink=Sink("a", Point(4, 1)))
+    tree.add_child(tree.root, Point(4, -1), sink=Sink("b", Point(4, -1)))
+    before = tree.wirelength()  # 5 + 5 = 10
+    gain = median_steinerize(tree)
+    assert gain == pytest.approx(before - tree.wirelength())
+    assert tree.wirelength() == pytest.approx(6.0)  # trunk 4 + two stubs of 1
+    tree.validate()
+
+
+def test_median_steinerize_respects_detours():
+    tree = RoutedTree(Point(0, 0))
+    a = tree.add_child(tree.root, Point(4, 1), sink=Sink("a", Point(4, 1)))
+    tree.add_child(tree.root, Point(4, -1), sink=Sink("b", Point(4, -1)))
+    tree.set_detour(a, 2.0)  # snaked edge must not be rerouted
+    gain = median_steinerize(tree)
+    assert gain == 0.0
+
+
+def net_from_points(pts):
+    return ClockNet(
+        "n", Point(0, 0),
+        [Sink(f"s{i}", p) for i, p in enumerate(pts)],
+    )
+
+
+def test_rsmt_simple_net():
+    net = net_from_points([Point(10, 0), Point(0, 10), Point(10, 10)])
+    tree = rsmt(net)
+    tree.validate()
+    assert sorted(s.name for s in tree.sinks()) == ["s0", "s1", "s2"]
+    assert tree.wirelength() <= 30  # MST would be 10+10+10
+
+
+def test_rsmt_never_longer_than_mst():
+    rng = random.Random(7)
+    for trial in range(10):
+        pts = [Point(rng.uniform(0, 75), rng.uniform(0, 75)) for _ in range(12)]
+        net = net_from_points(pts)
+        mst_len = rectilinear_mst_length([net.source] + pts)
+        assert rsmt(net).wirelength() <= mst_len + 1e-6
+
+
+def test_rsmt_wirelength_matches_tree():
+    net = net_from_points([Point(5, 5), Point(9, 1), Point(3, 8)])
+    assert rsmt_wirelength(net) == pytest.approx(rsmt(net).wirelength())
+
+
+@given(st.lists(st.builds(Point,
+                          st.floats(min_value=0, max_value=50),
+                          st.floats(min_value=0, max_value=50)),
+                min_size=1, max_size=8, unique_by=lambda p: (p.x, p.y)))
+@settings(max_examples=40, deadline=None)
+def test_rsmt_spans_all_sinks(pts):
+    net = net_from_points(pts)
+    tree = rsmt(net)
+    tree.validate()
+    assert len(tree.sinks()) == len(pts)
+    # every sink is at its declared location
+    for nid in tree.sink_node_ids():
+        node = tree.node(nid)
+        assert node.location.is_close(node.sink.location)
+    # no degree-2 steiner pass-throughs remain
+    for nid in tree.node_ids():
+        node = tree.node(nid)
+        if node.is_steiner and nid != tree.root:
+            assert len(node.children) >= 2

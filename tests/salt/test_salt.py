@@ -1,0 +1,112 @@
+"""Tests for the rectilinear SALT construction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, manhattan
+from repro.netlist import ClockNet, Sink
+from repro.rsmt import rsmt
+from repro.salt import refine, salt
+
+
+def random_net(rng, n, box=75.0):
+    pts = []
+    while len(pts) < n:
+        p = Point(rng.uniform(0, box), rng.uniform(0, box))
+        if all(q.manhattan_to(p) > 1e-6 for q in pts):
+            pts.append(p)
+    return ClockNet(
+        "n", Point(rng.uniform(0, box), rng.uniform(0, box)),
+        [Sink(f"s{i}", p) for i, p in enumerate(pts)],
+    )
+
+
+def shallowness(tree, source):
+    pl = tree.sink_path_lengths()
+    worst = 0.0
+    for nid, length in pl.items():
+        md = manhattan(source, tree.node(nid).location)
+        if md > 1e-9:
+            worst = max(worst, length / md)
+    return worst
+
+
+def test_eps_zero_gives_shortest_paths():
+    rng = random.Random(3)
+    net = random_net(rng, 15)
+    tree = salt(net, eps=0.0)
+    assert shallowness(tree, net.source) <= 1.0 + 1e-6
+
+
+def test_negative_eps_rejected():
+    rng = random.Random(3)
+    net = random_net(rng, 5)
+    with pytest.raises(ValueError):
+        salt(net, eps=-0.1)
+
+
+@pytest.mark.parametrize("eps", [0.0, 0.1, 0.5, 2.0])
+def test_shallowness_guarantee(eps):
+    rng = random.Random(11)
+    for _ in range(5):
+        net = random_net(rng, 20)
+        tree = salt(net, eps=eps)
+        tree.validate()
+        assert shallowness(tree, net.source) <= 1.0 + eps + 1e-6
+        assert len(tree.sinks()) == net.fanout
+
+
+def test_large_eps_approaches_rsmt_weight():
+    """With a huge eps no breakpoints fire: SALT == refined RSMT."""
+    rng = random.Random(5)
+    net = random_net(rng, 18)
+    light = rsmt(net).wirelength()
+    tree = salt(net, eps=100.0)
+    assert tree.wirelength() <= light + 1e-6
+
+
+def test_lightness_degrades_gracefully():
+    """Smaller eps must not make the tree lighter (monotone trade-off)."""
+    rng = random.Random(9)
+    net = random_net(rng, 25)
+    wl = {eps: salt(net, eps=eps).wirelength() for eps in (0.0, 0.3, 3.0)}
+    assert wl[0.0] >= wl[3.0] - 1e-6
+    # the middle point sits between the extremes (within tolerance: the
+    # heuristic is not strictly monotone net-by-net, but extremes hold)
+    assert wl[0.3] <= wl[0.0] + 1e-6 or wl[0.3] >= wl[3.0] - 1e-6
+
+
+def test_salt_accepts_initial_tree_and_does_not_mutate_it():
+    rng = random.Random(21)
+    net = random_net(rng, 12)
+    init = rsmt(net)
+    before_wl = init.wirelength()
+    before_nodes = len(init)
+    tree = salt(net, eps=0.2, init=init)
+    tree.validate()
+    assert init.wirelength() == before_wl
+    assert len(init) == before_nodes
+    assert shallowness(tree, net.source) <= 1.2 + 1e-6
+
+
+def test_refine_reduces_or_keeps_wirelength():
+    rng = random.Random(2)
+    net = random_net(rng, 10)
+    tree = rsmt(net)
+    saved = refine(tree)
+    assert saved >= -1e-9
+
+
+@given(st.integers(min_value=1, max_value=14), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_salt_property_random(n, seed):
+    """Shallowness holds and all sinks survive for arbitrary nets/eps."""
+    rng = random.Random(seed)
+    eps = rng.choice([0.0, 0.05, 0.25, 1.0])
+    net = random_net(rng, n)
+    tree = salt(net, eps=eps)
+    tree.validate()
+    assert len(tree.sinks()) == n
+    assert shallowness(tree, net.source) <= 1.0 + eps + 1e-6

@@ -1,0 +1,64 @@
+"""Tests for the clock buffer library and the Eq. (6) delay model."""
+
+import math
+
+import pytest
+
+from repro.tech import BufferLibrary, BufferType, default_library
+
+
+def test_default_library_ordering():
+    lib = default_library()
+    assert len(lib) == 4
+    # weakest first: omega_c strictly decreasing with size
+    omega_cs = [b.omega_c for b in lib]
+    assert omega_cs == sorted(omega_cs, reverse=True)
+    assert lib.weakest.name == "CLKBUF_X2"
+    assert lib.strongest.name == "CLKBUF_X16"
+
+
+def test_eq6_delay():
+    buf = BufferType("B", 1.0, omega_s=0.1, omega_c=0.5, omega_i=10.0,
+                     area=1.0, max_cap=100.0)
+    assert math.isclose(buf.delay(slew_in=20.0, cap_load=30.0),
+                        0.1 * 20 + 0.5 * 30 + 10)
+
+
+def test_min_coefficients_for_eq7():
+    lib = default_library()
+    assert lib.min_omega_c() == min(b.omega_c for b in lib)
+    assert lib.min_omega_i() == min(b.omega_i for b in lib)
+    # the lower bound of Eq. (7) must not exceed any real buffer delay
+    for buf in lib:
+        for cap in (0.0, 10.0, 50.0):
+            lower = lib.min_omega_c() * cap + lib.min_omega_i()
+            assert lower <= buf.delay(slew_in=0.0, cap_load=cap) + 1e-9
+
+
+def test_smallest_driving():
+    lib = default_library()
+    assert lib.smallest_driving(10.0).name == "CLKBUF_X2"
+    assert lib.smallest_driving(100.0).name == "CLKBUF_X8"
+    # over-limit load falls back to strongest
+    assert lib.smallest_driving(1e6).name == "CLKBUF_X16"
+
+
+def test_best_delay_prefers_larger_buffer_for_large_load():
+    lib = default_library()
+    small_load = lib.best_delay(slew_in=10.0, cap_load=5.0)
+    large_load = lib.best_delay(slew_in=10.0, cap_load=300.0)
+    assert small_load.omega_c >= large_load.omega_c
+
+
+def test_by_name_and_errors():
+    lib = default_library()
+    assert lib.by_name("CLKBUF_X4").input_cap == 4.8
+    with pytest.raises(KeyError):
+        lib.by_name("nope")
+    with pytest.raises(ValueError):
+        BufferLibrary([])
+
+
+def test_output_slew_monotone_in_load():
+    for buf in default_library():
+        assert buf.output_slew(10) < buf.output_slew(100)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.geometry import Point
+from repro.io import write_net
+from repro.netlist import ClockNet, Sink
+
+
+@pytest.fixture
+def netfile(tmp_path):
+    net = ClockNet("demo", Point(0, 0), [
+        Sink("a", Point(10, 4)), Sink("b", Point(3, 12)),
+        Sink("c", Point(15, 15)), Sink("d", Point(7, 2)),
+    ])
+    path = tmp_path / "demo.net"
+    write_net(net, path)
+    return path
+
+
+def test_route_default(netfile, capsys):
+    assert main(["route", str(netfile)]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "gamma" in out
+    assert "demo" in out
+
+
+@pytest.mark.parametrize("algorithm", ["zst", "rsmt", "salt", "htree"])
+def test_route_algorithms(netfile, algorithm, capsys):
+    assert main(["route", str(netfile), "--algorithm", algorithm]) == 0
+    assert algorithm in capsys.readouterr().out
+
+
+def test_route_elmore_model(netfile, capsys):
+    assert main([
+        "route", str(netfile), "--algorithm", "bst",
+        "--model", "elmore", "--skew-bound", "5",
+    ]) == 0
+    assert "Elmore" in capsys.readouterr().out
+
+
+def test_route_save_outputs(netfile, tmp_path, capsys):
+    tree_path = tmp_path / "t.json"
+    svg_path = tmp_path / "t.svg"
+    assert main([
+        "route", str(netfile),
+        "--save-tree", str(tree_path), "--svg", str(svg_path),
+    ]) == 0
+    data = json.loads(tree_path.read_text())
+    assert data["format"] == 1
+    assert svg_path.read_text().startswith("<svg")
+
+
+def test_designs_lists_catalog(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "s38584" in out and "ysyx_3" in out
+
+
+def test_flow_small(capsys):
+    assert main(["flow", "--design", "s38584", "--scale", "0.05",
+                 "--flow", "openroad"]) == 0
+    out = capsys.readouterr().out
+    assert "latency" in out
+
+
+def test_gallery(netfile, tmp_path, capsys):
+    out_dir = tmp_path / "gal"
+    assert main(["gallery", str(netfile), "--out", str(out_dir)]) == 0
+    svgs = list(out_dir.glob("*.svg"))
+    assert len(svgs) == 8  # one per algorithm
+
+
+def test_unknown_command_fails():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_route_spef_output(netfile, tmp_path, capsys):
+    spef_path = tmp_path / "out.spef"
+    assert main(["route", str(netfile), "--spef", str(spef_path)]) == 0
+    assert "*D_NET" in spef_path.read_text()

@@ -1,0 +1,144 @@
+"""Failure-injection and robustness tests across modules.
+
+Every public entry point must fail loudly (typed exceptions with useful
+messages) on malformed input, and must keep working on legal-but-extreme
+inputs: coincident points, collinear nets, single sinks, zero-size dies.
+"""
+
+import random
+
+import pytest
+
+from repro.core import cbs, evaluate_tree
+from repro.dme import bst_dme, zst_dme
+from repro.geometry import Point
+from repro.htree import fishbone, ghtree, htree
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.rsmt import rsmt
+from repro.salt import salt
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+
+
+# ----------------------------------------------------------------------
+# Degenerate geometry every builder must survive
+# ----------------------------------------------------------------------
+def coincident_net(n=5):
+    return ClockNet("coin", Point(5, 5),
+                    [Sink(f"s{i}", Point(5, 5)) for i in range(n)])
+
+
+def collinear_net(n=6):
+    return ClockNet("line", Point(0, 0),
+                    [Sink(f"s{i}", Point(i + 1.0, 0)) for i in range(n)])
+
+
+@pytest.mark.parametrize("builder", [
+    rsmt,
+    lambda net: salt(net, eps=0.1),
+    zst_dme,
+    lambda net: bst_dme(net, 5.0),
+    lambda net: cbs(net, 5.0),
+    htree,
+    ghtree,
+    fishbone,
+])
+@pytest.mark.parametrize("net_factory", [coincident_net, collinear_net])
+def test_builders_survive_degenerate_nets(builder, net_factory):
+    net = net_factory()
+    tree = builder(net)
+    tree.validate()
+    assert len(tree.sinks()) == net.fanout
+    # timing must also run
+    ElmoreAnalyzer(Technology()).analyze(tree)
+
+
+def test_source_on_top_of_sink():
+    net = ClockNet("on_top", Point(3, 3),
+                   [Sink("a", Point(3, 3)), Sink("b", Point(10, 3))])
+    for builder in (rsmt, lambda n: cbs(n, 2.0), lambda n: salt(n, 0.0)):
+        tree = builder(net)
+        tree.validate()
+        m = evaluate_tree(tree, net)
+        assert m.gamma >= 1.0 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Corrupted structures must be detected, not silently mis-analysed
+# ----------------------------------------------------------------------
+def test_cycle_detected_by_validate():
+    tree = RoutedTree(Point(0, 0))
+    a = tree.add_child(tree.root, Point(1, 0))
+    b = tree.add_child(a, Point(2, 0))
+    # forge a cycle behind the API's back
+    tree.node(a).parent = b
+    tree.node(b).children.append(a)
+    with pytest.raises(ValueError):
+        tree.validate()
+
+
+def test_dangling_child_detected():
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(1, 0))
+    tree.node(tree.root).children.append(999)
+    with pytest.raises(ValueError):
+        tree.validate()
+
+
+def test_unreachable_node_detected():
+    tree = RoutedTree(Point(0, 0))
+    a = tree.add_child(tree.root, Point(1, 0))
+    tree.node(tree.root).children.remove(a)
+    tree.node(a).parent = None
+    with pytest.raises(ValueError):
+        tree.validate()
+
+
+# ----------------------------------------------------------------------
+# Messages must carry actionable context
+# ----------------------------------------------------------------------
+def test_error_messages_are_specific():
+    with pytest.raises(ValueError, match="no sinks"):
+        ClockNet("empty", Point(0, 0), [])
+    with pytest.raises(ValueError, match="duplicate"):
+        ClockNet("dup", Point(0, 0),
+                 [Sink("x", Point(0, 1)), Sink("x", Point(1, 0))])
+    with pytest.raises(ValueError, match="negative"):
+        Sink("s", Point(0, 0), cap=-1)
+    net = collinear_net()
+    with pytest.raises(ValueError, match="greedy_dist"):
+        bst_dme(net, 1.0, topology="not_a_generator")
+
+
+# ----------------------------------------------------------------------
+# Extreme parameter values
+# ----------------------------------------------------------------------
+def test_huge_and_tiny_bounds():
+    rng = random.Random(0)
+    pts = [Point(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(10)]
+    net = ClockNet("n", Point(25, 25),
+                   [Sink(f"s{i}", p) for i, p in enumerate(pts)])
+    for bound in (0.0, 1e-9, 1e9):
+        tree = bst_dme(net, bound)
+        pls = tree.sink_path_lengths().values()
+        assert max(pls) - min(pls) <= bound + 1e-6
+
+
+def test_cbs_with_two_identical_far_sinks():
+    net = ClockNet("twins", Point(0, 0), [
+        Sink("a", Point(100, 100)), Sink("b", Point(100, 100)),
+    ])
+    tree = cbs(net, 1.0)
+    pls = list(tree.sink_path_lengths().values())
+    assert abs(pls[0] - pls[1]) <= 1.0 + 1e-6
+
+
+def test_large_coordinates_no_overflow():
+    big = 1e7
+    net = ClockNet("big", Point(0, 0), [
+        Sink("a", Point(big, 0)), Sink("b", Point(0, big)),
+        Sink("c", Point(big, big)),
+    ])
+    tree = zst_dme(net)
+    pls = list(tree.sink_path_lengths().values())
+    assert max(pls) - min(pls) <= 1e-3  # relative precision at 1e7 scale

@@ -1,0 +1,62 @@
+"""Tests for critical wirelength and the Eq. (7) lower bound."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech import BufferType, Technology, default_library
+from repro.tech.technology import LN9
+from repro.timing import (
+    critical_wirelength,
+    insertion_delay_lower_bound,
+    refined_critical_wirelength,
+)
+
+
+def test_critical_wirelength_formula():
+    tech = Technology(unit_res=1.0, unit_cap=0.2)
+    buf = BufferType("B", 2.0, omega_s=0.1, omega_c=0.5, omega_i=10.0,
+                     area=1.0, max_cap=100.0)
+    expected = 2 * math.sqrt(
+        (0.5 * 2.0 + 10.0) / (0.2e-3 * (LN9 * 0.1 + 1))
+    )
+    assert math.isclose(critical_wirelength(buf, tech), expected)
+
+
+def test_critical_wirelength_break_even():
+    """At L = critical length, splitting the wire with a buffer is neutral.
+
+    T(i,j) - T'(i,j) = r c (ln9 ws + 1) L^2 / 4 - wc*Cap - wi  must be 0.
+    """
+    tech = Technology()
+    buf = default_library().weakest
+    L = critical_wirelength(buf, tech)
+    rc = tech.rc_per_um2_ps()
+    gain = rc * (LN9 * buf.omega_s + 1) * L * L / 4.0
+    cost = buf.omega_c * buf.input_cap + buf.omega_i
+    assert math.isclose(gain, cost, rel_tol=1e-9)
+
+
+def test_refined_critical_wirelength_monotone_in_load():
+    tech = Technology()
+    buf = default_library().weakest
+    l1 = refined_critical_wirelength(buf, tech, cap_load=10.0)
+    l2 = refined_critical_wirelength(buf, tech, cap_load=100.0)
+    assert l2 > l1
+    with pytest.raises(ValueError):
+        refined_critical_wirelength(buf, tech, cap_load=-1.0)
+
+
+@given(st.floats(min_value=0, max_value=500))
+def test_lower_bound_never_exceeds_any_buffer(cap):
+    """Eq. (7) must be a true lower bound over the whole library."""
+    lib = default_library()
+    lower = insertion_delay_lower_bound(lib, cap)
+    for buf in lib:
+        assert lower <= buf.delay(slew_in=0.0, cap_load=cap) + 1e-9
+
+
+def test_lower_bound_rejects_negative():
+    with pytest.raises(ValueError):
+        insertion_delay_lower_bound(default_library(), -1.0)

@@ -1,0 +1,138 @@
+"""Tests for OCV-derated skew with common-path pessimism removal."""
+
+import random
+
+import pytest
+
+from repro.dme import ElmoreDelay, zst_dme
+from repro.geometry import Point
+from repro.netlist import ClockNet, RoutedTree, Sink
+from repro.tech import Technology
+from repro.timing import ElmoreAnalyzer
+from repro.timing.ocv import worst_ocv_skew
+
+
+def analyze(tree, tech=None):
+    tech = tech or Technology()
+    return ElmoreAnalyzer(tech).analyze(tree)
+
+
+def fork_tree(trunk=100.0, branch_a=50.0, branch_b=50.0):
+    """source -> trunk -> fork -> two sinks."""
+    tree = RoutedTree(Point(0, 0))
+    fork = tree.add_child(tree.root, Point(trunk, 0))
+    tree.add_child(fork, Point(trunk + branch_a, 0),
+                   sink=Sink("a", Point(trunk + branch_a, 0), cap=2.0))
+    tree.add_child(fork, Point(trunk, branch_b),
+                   sink=Sink("b", Point(trunk, branch_b), cap=2.0))
+    return tree
+
+
+def test_zero_derate_equals_nominal():
+    tree = fork_tree(branch_a=80.0, branch_b=20.0)
+    rep = analyze(tree)
+    ocv = worst_ocv_skew(tree, rep, derate_early=0.0, derate_late=0.0)
+    assert ocv.ocv_skew == pytest.approx(rep.skew, abs=1e-9)
+    assert ocv.ocv_penalty == pytest.approx(0.0, abs=1e-9)
+
+
+def test_hand_computed_pair():
+    tree = fork_tree()
+    rep = analyze(tree)
+    de, dl = 0.1, 0.1
+    ocv = worst_ocv_skew(tree, rep, derate_early=de, derate_late=dl)
+    # symmetric branches: nominal skew ~0, OCV skew = spread * branch delay
+    arr = list(rep.sink_arrival.values())
+    fork_arr = max(
+        rep.arrival[nid] for nid in tree.node_ids()
+        if tree.node(nid).is_steiner and tree.node(nid).parent is not None
+    )
+    expected = (1 + dl) * arr[0] - (1 - de) * arr[1] - (dl + de) * fork_arr
+    assert ocv.ocv_skew == pytest.approx(expected, rel=1e-6)
+
+
+def test_cppr_credits_shared_path():
+    """A deeper shared trunk reduces OCV skew for the same branch split."""
+    shallow = fork_tree(trunk=20.0)
+    deep = fork_tree(trunk=300.0)
+    de = dl = 0.08
+    ocv_shallow = worst_ocv_skew(shallow, analyze(shallow), de, dl)
+    ocv_deep = worst_ocv_skew(deep, analyze(deep), de, dl)
+    # without CPPR the deep trunk would *increase* derated skew (larger
+    # arrivals); with CPPR the shared trunk cancels, so the penalty stays
+    # at the branch scale for both
+    assert ocv_deep.ocv_penalty == pytest.approx(
+        ocv_shallow.ocv_penalty, rel=0.35
+    )
+    # and crucially the penalty does not scale with the trunk delay
+    assert ocv_deep.ocv_penalty < 0.5 * analyze(deep).latency * (de + dl)
+
+
+def test_ocv_at_least_nominal():
+    rng = random.Random(1)
+    tech = Technology()
+    for _ in range(5):
+        pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60))
+               for _ in range(12)]
+        net = ClockNet("n", Point(30, 30),
+                       [Sink(f"s{i}", p, cap=1.0) for i, p in enumerate(pts)])
+        tree = zst_dme(net, model=ElmoreDelay(tech))
+        rep = analyze(tree, tech)
+        ocv = worst_ocv_skew(tree, rep, 0.05, 0.05)
+        assert ocv.ocv_skew >= rep.skew - 1e-9
+        assert ocv.ocv_skew >= 0.0
+
+
+def test_matches_bruteforce_pairs():
+    rng = random.Random(2)
+    tech = Technology()
+    pts = [Point(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(9)]
+    net = ClockNet("n", Point(0, 0),
+                   [Sink(f"s{i}", p, cap=1.0) for i, p in enumerate(pts)])
+    tree = zst_dme(net, model=ElmoreDelay(tech))
+    rep = analyze(tree, tech)
+    de, dl = 0.07, 0.12
+
+    # brute force over ordered pairs with explicit LCA search
+    parents = {nid: tree.node(nid).parent for nid in tree.node_ids()}
+
+    def ancestors(nid):
+        chain = []
+        while nid is not None:
+            chain.append(nid)
+            nid = parents[nid]
+        return chain
+
+    worst = 0.0
+    sink_ids = tree.sink_node_ids()
+    for i in sink_ids:
+        anc_i = ancestors(i)
+        for j in sink_ids:
+            if i == j:
+                continue
+            anc_j = set(ancestors(j))
+            lca = next(a for a in anc_i if a in anc_j)
+            cand = ((1 + dl) * rep.sink_arrival[i]
+                    - (1 - de) * rep.sink_arrival[j]
+                    - (dl + de) * rep.arrival[lca])
+            worst = max(worst, cand)
+
+    ocv = worst_ocv_skew(tree, rep, de, dl)
+    assert ocv.ocv_skew == pytest.approx(worst, rel=1e-9)
+
+
+def test_validation():
+    tree = fork_tree()
+    rep = analyze(tree)
+    with pytest.raises(ValueError):
+        worst_ocv_skew(tree, rep, derate_early=1.5)
+    with pytest.raises(ValueError):
+        worst_ocv_skew(tree, rep, derate_late=-0.1)
+
+
+def test_single_sink_zero():
+    tree = RoutedTree(Point(0, 0))
+    tree.add_child(tree.root, Point(10, 0), sink=Sink("s", Point(10, 0)))
+    rep = analyze(tree)
+    ocv = worst_ocv_skew(tree, rep)
+    assert ocv.ocv_skew == 0.0

@@ -1,0 +1,69 @@
+"""Tests for SVG rendering of routed trees."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import Point
+from repro.netlist import RoutedTree, Sink
+from repro.tech import default_library
+from repro.viz import render_svg, save_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def small_tree():
+    tree = RoutedTree(Point(0, 0))
+    mid = tree.add_child(tree.root, Point(10, 0))
+    tree.set_buffer(mid, default_library().weakest)
+    tree.add_child(mid, Point(10, 8), sink=Sink("a", Point(10, 8)))
+    tree.add_child(mid, Point(15, 0), sink=Sink("b", Point(15, 0)))
+    return tree
+
+
+def test_render_is_well_formed_xml():
+    svg = render_svg(small_tree(), title="demo <tree>")
+    root = ET.fromstring(svg)
+    assert root.tag == f"{SVG_NS}svg"
+
+
+def test_marker_counts():
+    tree = small_tree()
+    root = ET.fromstring(render_svg(tree))
+    rects = root.findall(f"{SVG_NS}rect")
+    polygons = root.findall(f"{SVG_NS}polygon")
+    lines = root.findall(f"{SVG_NS}line")
+    # background rect + one per sink
+    assert len(rects) == 1 + len(tree.sink_node_ids())
+    # source diamond + one triangle per buffer
+    assert len(polygons) == 1 + len(tree.buffer_node_ids())
+    # wires: every non-root node contributes 1-2 segments
+    assert len(lines) >= len(tree.node_ids()) - 1
+
+
+def test_lines_are_rectilinear():
+    root = ET.fromstring(render_svg(small_tree()))
+    for line in root.findall(f"{SVG_NS}line"):
+        x1, y1 = float(line.get("x1")), float(line.get("y1"))
+        x2, y2 = float(line.get("x2")), float(line.get("y2"))
+        assert abs(x1 - x2) < 1e-6 or abs(y1 - y2) < 1e-6
+
+
+def test_title_escaped():
+    svg = render_svg(small_tree(), title="a<b & c>d")
+    assert "a&lt;b &amp; c&gt;d" in svg
+
+
+def test_save_svg(tmp_path):
+    path = tmp_path / "tree.svg"
+    save_svg(small_tree(), path, width=320)
+    content = path.read_text()
+    assert content.startswith("<svg")
+    assert 'width="320"' in content
+
+
+def test_degenerate_single_point_tree():
+    tree = RoutedTree(Point(5, 5))
+    tree.add_child(tree.root, Point(5, 5), sink=Sink("s", Point(5, 5)))
+    svg = render_svg(tree)
+    ET.fromstring(svg)  # must not crash or divide by zero
