@@ -6,10 +6,17 @@ Commands:
   algorithm; print SLLT metrics and Elmore timing; optionally write the
   tree (JSON) and a picture (SVG);
 * ``flow``    — run a full-chip flow on a catalog design and print the
-  Table 6 style row;
+  Table 6 style row; degradations are reported (``--strict`` makes them
+  fatal);
+* ``check``   — run the flow-guard constraint checker (skew / cap /
+  fanout / span DRC) on a saved tree file;
 * ``designs`` — list the benchmark catalog;
 * ``gallery`` — render every topology algorithm on one net into SVGs
   (the Fig. 1 gallery).
+
+``main`` catches expected failures (missing files, malformed input,
+unknown names) and exits with code 2 and a one-line message instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -20,16 +27,16 @@ import sys
 from repro.baselines import commercial_like_cts, openroad_like_cts
 from repro.core import cbs, evaluate_tree
 from repro.core.cbs import DEFAULT_EPS
-from repro.cts import HierarchicalCTS
-from repro.cts.evaluation import evaluate_result
+from repro.cts import Constraints, HierarchicalCTS, TABLE5
+from repro.cts.evaluation import audit_solution, evaluate_result
 from repro.designs import design_names, load_design
 from repro.dme import ElmoreDelay, bst_dme, zst_dme
 from repro.htree import fishbone, ghtree, htree
-from repro.io import format_table, read_net
-from repro.io.treefile import write_tree
+from repro.io import format_diagnostics, format_table, read_net
+from repro.io.treefile import read_tree, write_tree
 from repro.rsmt import rsmt
 from repro.salt import salt
-from repro.tech import Technology
+from repro.tech import Technology, default_library
 from repro.timing import ElmoreAnalyzer
 
 ALGORITHMS = ("cbs", "bst", "zst", "salt", "rsmt", "htree", "ghtree",
@@ -127,7 +134,41 @@ def cmd_flow(args) -> int:
         f"max stage load {stats.max_stage_load:.1f} fF, "
         f"detour wire {stats.detour_fraction * 100:.1f}%"
     )
+    diag = result.diagnostics
+    if diag is not None:
+        print(format_diagnostics(diag))
+        if args.strict and diag.degraded:
+            print("strict mode: flow degraded, failing", file=sys.stderr)
+            return 1
     return 0
+
+
+def cmd_check(args) -> int:
+    tech = Technology()
+    constraints = Constraints(
+        skew_bound=args.skew_bound,
+        max_fanout=args.max_fanout,
+        max_cap=args.max_cap,
+        max_length=args.max_length,
+    )
+    tree = read_tree(args.treefile, library=default_library())
+    violations = audit_solution(tree, tech, constraints)
+    if not violations:
+        print(
+            f"{args.treefile}: clean — {len(tree.sinks())} sinks, "
+            f"{len(tree.buffer_node_ids())} buffers within "
+            f"skew<={constraints.skew_bound}ps "
+            f"cap<={constraints.max_cap}fF "
+            f"fanout<={constraints.max_fanout} "
+            f"span<={constraints.max_length}um"
+        )
+        return 0
+    print(format_table(
+        ["kind", "where", "value", "limit"],
+        [[v.kind, v.where, v.value, v.limit] for v in violations],
+        title=f"{args.treefile}: {len(violations)} violation(s)",
+    ))
+    return 1
 
 
 def cmd_designs(_args) -> int:
@@ -189,7 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
                         default="s38584")
     p_flow.add_argument("--scale", type=float, default=1.0)
     p_flow.add_argument("--flow", choices=FLOWS, default="ours")
+    p_flow.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any degradation or residual violation "
+             "(default: degrade and report)",
+    )
     p_flow.set_defaults(func=cmd_flow)
+
+    p_check = sub.add_parser(
+        "check", help="constraint-check (DRC) a saved tree file"
+    )
+    p_check.add_argument("treefile")
+    p_check.add_argument("--skew-bound", type=float,
+                         default=TABLE5.skew_bound, help="ps")
+    p_check.add_argument("--max-fanout", type=int,
+                         default=TABLE5.max_fanout)
+    p_check.add_argument("--max-cap", type=float,
+                         default=TABLE5.max_cap, help="fF")
+    p_check.add_argument("--max-length", type=float,
+                         default=TABLE5.max_length, help="um")
+    p_check.set_defaults(func=cmd_check)
 
     p_designs = sub.add_parser("designs", help="list the benchmark catalog")
     p_designs.set_defaults(func=cmd_designs)
@@ -206,7 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, KeyError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args \
+            else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,7 +9,12 @@ reaches the clock source.
 
 from repro.cts.constraints import Constraints, TABLE5
 from repro.cts.framework import FlowConfig, HierarchicalCTS, CTSResult, LevelStats
-from repro.cts.evaluation import SolutionReport, evaluate_solution
+from repro.cts.evaluation import (
+    SolutionReport,
+    audit_solution,
+    evaluate_result,
+    evaluate_solution,
+)
 from repro.cts.stats import TreeStatistics, tree_statistics
 
 __all__ = [
@@ -20,6 +25,8 @@ __all__ = [
     "LevelStats",
     "SolutionReport",
     "TreeStatistics",
+    "audit_solution",
+    "evaluate_result",
     "tree_statistics",
     "TABLE5",
     "evaluate_solution",

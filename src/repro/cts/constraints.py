@@ -31,6 +31,28 @@ class Constraints:
         if self.max_slew is not None and self.max_slew <= 0:
             raise ValueError(f"max_slew must be positive, got {self.max_slew}")
 
+    def relaxed(
+        self,
+        skew: float = 1.0,
+        cap: float = 1.0,
+        length: float = 1.0,
+    ) -> "Constraints":
+        """A copy with multiplicatively loosened bounds.
+
+        The flow guard's backoff ladder retries a failed stage against
+        ``constraints.relaxed(skew=1.5)`` before downgrading algorithms;
+        fanout is an integer structural bound and is never relaxed.
+        """
+        if skew < 1.0 or cap < 1.0 or length < 1.0:
+            raise ValueError("relaxation factors must be >= 1")
+        return Constraints(
+            skew_bound=self.skew_bound * skew,
+            max_fanout=self.max_fanout,
+            max_cap=self.max_cap * cap,
+            max_length=self.max_length * length,
+            max_slew=self.max_slew,
+        )
+
     def effective_span(self, tech) -> float:
         """Repeater span limit: wirelength constraint, tightened by the
         slew constraint when one is set."""

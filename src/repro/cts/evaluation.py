@@ -1,10 +1,16 @@
-"""Full-solution scoring: the columns of paper Tables 6 and 7."""
+"""Full-solution scoring: the columns of paper Tables 6 and 7.
+
+Besides the paper's quality metrics, :func:`audit_solution` runs the
+flow-guard constraint checker over an assembled tree — the standalone
+DRC behind ``repro check`` and the post-assembly sanity pass."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cts.constraints import Constraints, TABLE5
 from repro.cts.framework import CTSResult
+from repro.flowguard.checker import Violation, check_tree
 from repro.netlist.tree import RoutedTree
 from repro.tech.technology import Technology
 from repro.timing.elmore import ElmoreAnalyzer
@@ -58,3 +64,16 @@ def evaluate_result(
     return evaluate_solution(
         result.tree, tech, runtime_s=result.runtime_s, source_slew=source_slew
     )
+
+
+def audit_solution(
+    tree: RoutedTree,
+    tech: Technology,
+    constraints: Constraints = TABLE5,
+    source_slew: float = 10.0,
+) -> list[Violation]:
+    """Constraint-check a finished tree (skew / cap / fanout / span).
+
+    Returns the violations found — empty means the tree is DRC-clean
+    under ``constraints``.  This is what ``repro check`` runs."""
+    return check_tree(tree, constraints, tech, source_slew=source_slew)

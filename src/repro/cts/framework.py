@@ -1,4 +1,4 @@
-"""The hierarchical CTS level loop (paper Fig. 3).
+"""The hierarchical CTS level loop (paper Fig. 3), flow-guarded.
 
 ``HierarchicalCTS.run(sinks, source)`` drives levels bottom-up:
 
@@ -17,6 +17,16 @@
 The loop ends when the surviving taps fit one net from the clock source;
 cluster trees are then grafted into their parent nets to form the final
 routed tree, which :func:`repro.cts.evaluation.evaluate_solution` scores.
+
+Every stage is wrapped by the :mod:`repro.flowguard` subsystem: routing
+runs through a :class:`~repro.flowguard.fallback.RouterFallbackChain`
+(parameter backoff, then CBS → BST-DME → SALT → star degradation), each
+net is constraint-checked and repaired in place with a bounded budget,
+a partition that fails or does not reduce the sink count falls back to
+the forced median split, and every incident lands in the
+:class:`~repro.flowguard.diagnostics.FlowDiagnostics` carried on
+:class:`CTSResult`.  The only exception ``run`` raises is the
+empty-input ``ValueError``; everything else degrades and reports.
 """
 
 from __future__ import annotations
@@ -27,9 +37,15 @@ from typing import Callable
 
 from repro.buffering.estimation import insertion_delay_estimate
 from repro.buffering.insertion import place_driver, split_long_edges
-from repro.core.cbs import cbs
 from repro.cts.constraints import Constraints, TABLE5
 from repro.dme.models import ElmoreDelay
+from repro.flowguard.checker import check_and_repair
+from repro.flowguard.diagnostics import FlowDiagnostics
+from repro.flowguard.fallback import (
+    RouterFallbackChain,
+    forced_median_split,
+    star_topology,
+)
 from repro.geometry import Point, manhattan_center
 from repro.netlist.net import ClockNet
 from repro.netlist.sink import Sink
@@ -55,6 +71,11 @@ class FlowConfig:
     source_slew: float = 10.0         # ps at the clock source
     # pluggable per-net router: (net, skew_bound_ps, model) -> RoutedTree
     router: Callable | None = None
+    # pluggable partitioner: (points, max_size=..., seed=...) ->
+    # (centers, labels); defaults to balanced K-means
+    partitioner: Callable | None = None
+    # constraint-repair passes per net before violations become residual
+    repair_budget: int = 2
 
 
 @dataclass(slots=True)
@@ -78,6 +99,7 @@ class CTSResult:
     tree: RoutedTree              # full routed tree rooted at the source
     levels: list[LevelStats]
     runtime_s: float
+    diagnostics: FlowDiagnostics | None = None
 
 
 class HierarchicalCTS:
@@ -89,33 +111,65 @@ class HierarchicalCTS:
         library: BufferLibrary | None = None,
         constraints: Constraints = TABLE5,
         config: FlowConfig | None = None,
+        analyzer: ElmoreAnalyzer | None = None,
     ):
         self._tech = tech or Technology()
         self._lib = library or default_library()
         self._constraints = constraints
         self._config = config or FlowConfig()
-        self._analyzer = ElmoreAnalyzer(self._tech, self._config.source_slew)
+        self._analyzer = analyzer or ElmoreAnalyzer(
+            self._tech, self._config.source_slew
+        )
 
     # ------------------------------------------------------------------
-    def run(self, sinks: list[Sink], source: Point) -> CTSResult:
+    def run(
+        self,
+        sinks: list[Sink],
+        source: Point,
+        diagnostics: FlowDiagnostics | None = None,
+    ) -> CTSResult:
         if not sinks:
             raise ValueError("hierarchical CTS needs at least one sink")
         start = time.perf_counter()
         cons = self._constraints
+        cfg = self._config
+        diag = diagnostics if diagnostics is not None else FlowDiagnostics()
+        chain = RouterFallbackChain(
+            cons.skew_bound,
+            eps=cfg.eps,
+            topology=cfg.topology,
+            primary=cfg.router,
+            diagnostics=diag,
+        )
         current = list(sinks)
         levels: list[LevelStats] = []
         subtrees: dict[str, RoutedTree] = {}  # driver sink name -> its net tree
         level = 0
 
         while len(current) > cons.max_fanout:
-            clusters, sa_before, sa_after = self._partition(current, level)
+            with diag.timed("partition"):
+                clusters, sa_before, sa_after = self._partition(
+                    current, level, diag
+                )
+                if len(clusters) >= len(current):
+                    diag.record(
+                        "partition", "forced_split", level=level,
+                        detail=(f"{len(clusters)} clusters for "
+                                f"{len(current)} sinks does not reduce; "
+                                f"forced median split"),
+                    )
+                    clusters = forced_median_split(
+                        current, max(2, cons.max_fanout)
+                    )
             next_sinks: list[Sink] = []
             buffers_added = 0
             for j, cluster in enumerate(clusters):
                 if not cluster.sinks:
                     continue
                 name = f"L{level}_c{j}"
-                driver_sink, tree, nbuf = self._route_cluster(name, cluster)
+                driver_sink, tree, nbuf = self._route_cluster(
+                    name, cluster, level, chain, diag
+                )
                 subtrees[name] = tree
                 next_sinks.append(driver_sink)
                 buffers_added += nbuf
@@ -126,46 +180,64 @@ class HierarchicalCTS:
                 sa_cost_before=sa_before,
                 sa_cost_after=sa_after,
                 max_net_cap=max(
-                    cluster_cap(c, self._tech.unit_cap)
-                    for c in clusters if c.sinks
+                    (cluster_cap(c, self._tech.unit_cap)
+                     for c in clusters if c.sinks),
+                    default=0.0,
                 ),
-                max_net_fanout=max(c.size for c in clusters),
+                max_net_fanout=max(
+                    (c.size for c in clusters), default=0
+                ),
                 buffers_added=buffers_added,
             ))
-            if len(next_sinks) >= len(current):
-                raise RuntimeError(
-                    "hierarchical clustering failed to reduce the sink count"
-                )
             current = next_sinks
             level += 1
 
-        top_tree = self._route_top(current, source)
-        full = self._assemble(top_tree, subtrees)
-        full.validate()
+        top_tree = self._route_top(current, source, chain, diag)
+        full = self._assemble(top_tree, subtrees, sinks, diag)
         return CTSResult(
             tree=full,
             levels=levels,
             runtime_s=time.perf_counter() - start,
+            diagnostics=diag,
         )
 
     # ------------------------------------------------------------------
     # Stage 1: partition
     # ------------------------------------------------------------------
     def _partition(
+        self, sinks: list[Sink], level: int, diag: FlowDiagnostics
+    ) -> tuple[list[Cluster], float, float]:
+        try:
+            return self._partition_inner(sinks, level)
+        except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+            diag.record(
+                "partition", "downgrade", level=level,
+                detail=(f"partitioner failed ({exc.__class__.__name__}: "
+                        f"{exc}); forced median split"),
+            )
+            clusters = forced_median_split(
+                sinks, max(2, self._constraints.max_fanout)
+            )
+            return clusters, 0.0, 0.0
+
+    def _partition_inner(
         self, sinks: list[Sink], level: int
     ) -> tuple[list[Cluster], float, float]:
         cons = self._constraints
         cfg = self._config
+        partition_fn = cfg.partitioner or balanced_kmeans
         points = [s.location for s in sinks]
         max_size = cons.max_fanout
         # split further while the densest cluster overruns the cap budget
         for _ in range(6):
-            centers, labels = balanced_kmeans(
+            centers, labels = partition_fn(
                 points, max_size=max_size, seed=cfg.seed + level
             )
             clusters = self._materialise(sinks, centers, labels)
             worst = max(
-                cluster_cap(c, self._tech.unit_cap) for c in clusters if c.sinks
+                (cluster_cap(c, self._tech.unit_cap)
+                 for c in clusters if c.sinks),
+                default=0.0,
             )
             if worst <= cons.max_cap or max_size <= 2:
                 break
@@ -205,31 +277,27 @@ class HierarchicalCTS:
     # Stages 2 + 3: routing topology + buffering for one cluster net
     # ------------------------------------------------------------------
     def _route_cluster(
-        self, name: str, cluster: Cluster
+        self,
+        name: str,
+        cluster: Cluster,
+        level: int,
+        chain: RouterFallbackChain,
+        diag: FlowDiagnostics,
     ) -> tuple[Sink, RoutedTree, int]:
-        cons = self._constraints
         cfg = self._config
         tap = manhattan_center([s.location for s in cluster.sinks])
         net = ClockNet(name, tap, cluster.sinks)
-        tree = self._route(net)
-        nbuf = split_long_edges(
-            tree, self._lib, self._tech, cons.effective_span(self._tech),
-            cfg.source_slew
-        )
-        driver = place_driver(tree, self._lib, self._tech, cfg.source_slew)
-        nbuf += 1
-
-        report = self._analyzer.analyze(tree)
-        if cfg.use_insertion_estimate:
-            # Eq. (7): provisional delay charged before upstream merging —
-            # latency below the driver plus the conservative driver bound
-            load = report.stage_load.get(tree.root, 0.0)
-            below = max(
-                report.sink_arrival.values()
-            ) - self._driver_delay_in_report(tree, report)
-            subtree_delay = below + insertion_delay_estimate(self._lib, load)
-        else:
-            subtree_delay = report.latency
+        with diag.timed("route"):
+            tree = chain.route(net, ElmoreDelay(self._tech), level=level)
+        nbuf = self._buffer_tree(tree, level, name, diag)
+        with diag.timed("check"):
+            check_and_repair(
+                tree, self._constraints, self._tech, self._lib,
+                budget=cfg.repair_budget, diagnostics=diag,
+                level=level, net=name, source_slew=cfg.source_slew,
+            )
+        driver = tree.node(tree.root).buffer  # repair may have re-sized it
+        subtree_delay = self._subtree_delay(tree, level, name, diag)
         driver_sink = Sink(
             name=name,
             location=tap,
@@ -237,6 +305,64 @@ class HierarchicalCTS:
             subtree_delay=subtree_delay,
         )
         return driver_sink, tree, nbuf
+
+    def _buffer_tree(
+        self, tree: RoutedTree, level: int, name: str, diag: FlowDiagnostics
+    ) -> int:
+        """Repeater chains + root driver, each guarded with a fallback."""
+        cons = self._constraints
+        cfg = self._config
+        with diag.timed("buffer"):
+            try:
+                nbuf = split_long_edges(
+                    tree, self._lib, self._tech,
+                    cons.effective_span(self._tech), cfg.source_slew,
+                )
+            except Exception as exc:  # noqa: BLE001
+                diag.record(
+                    "buffer", "downgrade", level=level, net=name,
+                    detail=f"split_long_edges failed ({exc}); "
+                           f"repeaters skipped",
+                )
+                nbuf = 0
+            try:
+                place_driver(tree, self._lib, self._tech, cfg.source_slew)
+            except Exception as exc:  # noqa: BLE001
+                diag.record(
+                    "buffer", "downgrade", level=level, net=name,
+                    detail=f"place_driver failed ({exc}); "
+                           f"weakest driver used",
+                )
+                tree.set_buffer(tree.root, self._lib.weakest)
+        return nbuf + 1
+
+    def _subtree_delay(
+        self, tree: RoutedTree, level: int, name: str, diag: FlowDiagnostics
+    ) -> float:
+        """Eq. (7) insertion estimate (or exact Eq. (6) latency), guarded:
+        an analyzer failure degrades to a zero estimate rather than
+        aborting the run."""
+        cfg = self._config
+        try:
+            with diag.timed("analyze"):
+                report = self._analyzer.analyze(tree)
+                if not cfg.use_insertion_estimate:
+                    return report.latency
+                # Eq. (7): provisional delay charged before upstream
+                # merging — latency below the driver plus the
+                # conservative driver bound
+                load = report.stage_load.get(tree.root, 0.0)
+                below = max(
+                    report.sink_arrival.values()
+                ) - self._driver_delay_in_report(tree, report)
+                return below + insertion_delay_estimate(self._lib, load)
+        except Exception as exc:  # noqa: BLE001
+            diag.record(
+                "analyze", "downgrade", level=level, net=name,
+                detail=f"timing analysis failed ({exc}); "
+                       f"zero insertion estimate",
+            )
+            return 0.0
 
     def _driver_delay_in_report(self, tree: RoutedTree, report) -> float:
         """Delay contributed by the root driver inside an analysis report."""
@@ -246,37 +372,58 @@ class HierarchicalCTS:
         load = report.stage_load.get(tree.root, 0.0)
         return root.buffer.delay(self._config.source_slew, load)
 
-    def _route(self, net: ClockNet) -> RoutedTree:
-        cfg = self._config
-        model = ElmoreDelay(self._tech)
-        if cfg.router is not None:
-            return cfg.router(net, self._constraints.skew_bound, model)
-        return cbs(
-            net,
-            skew_bound=self._constraints.skew_bound,
-            eps=cfg.eps,
-            model=model,
-            topology=cfg.topology,
-        )
-
     # ------------------------------------------------------------------
     # Top net + assembly
     # ------------------------------------------------------------------
-    def _route_top(self, sinks: list[Sink], source: Point) -> RoutedTree:
+    def _route_top(
+        self,
+        sinks: list[Sink],
+        source: Point,
+        chain: RouterFallbackChain,
+        diag: FlowDiagnostics,
+    ) -> RoutedTree:
         net = ClockNet("top", source, sinks)
-        tree = self._route(net)
-        split_long_edges(
-            tree, self._lib, self._tech,
-            self._constraints.effective_span(self._tech),
-            self._config.source_slew,
-        )
-        place_driver(tree, self._lib, self._tech, self._config.source_slew)
+        with diag.timed("route"):
+            tree = chain.route(net, ElmoreDelay(self._tech), level=-1)
+        self._buffer_tree(tree, -1, "top", diag)
+        with diag.timed("check"):
+            check_and_repair(
+                tree, self._constraints, self._tech, self._lib,
+                budget=self._config.repair_budget, diagnostics=diag,
+                level=-1, net="top", source_slew=self._config.source_slew,
+            )
         return tree
 
     def _assemble(
-        self, top: RoutedTree, subtrees: dict[str, RoutedTree]
+        self,
+        top: RoutedTree,
+        subtrees: dict[str, RoutedTree],
+        original_sinks: list[Sink],
+        diag: FlowDiagnostics,
     ) -> RoutedTree:
-        return graft_subtrees(top, subtrees)
+        with diag.timed("assemble"):
+            try:
+                full = graft_subtrees(top, subtrees)
+                full.validate()
+                return full
+            except Exception as exc:  # noqa: BLE001 — last-resort fallback
+                diag.record(
+                    "assemble", "downgrade",
+                    detail=(f"graft failed ({exc.__class__.__name__}: "
+                            f"{exc}); star fallback over "
+                            f"{len(original_sinks)} sinks"),
+                )
+                net = ClockNet(
+                    "star_fallback", top.node(top.root).location,
+                    list(original_sinks),
+                )
+                tree = star_topology(net)
+                try:
+                    place_driver(tree, self._lib, self._tech,
+                                 self._config.source_slew)
+                except Exception:  # noqa: BLE001
+                    tree.set_buffer(tree.root, self._lib.weakest)
+                return tree
 
 
 def graft_subtrees(

@@ -36,16 +36,23 @@ def repair_skew(
     skew_bound: float,
     model: DelayModel | None = None,
     relocate: bool = True,
+    max_extra_wl: float | None = None,
 ) -> float:
     """Restore ``skew_bound`` in place; returns the wirelength added.
 
     The bound's unit follows the model (um for linear, ps for Elmore), as
     everywhere in :mod:`repro.dme`.  ``relocate=False`` disables the
     re-embedding freedom (snake-only repair, the ablation variant).
+    ``max_extra_wl`` caps the snaking wire one call may add (the flow
+    guard's bounded-repair budget); once exhausted, remaining imbalance
+    is left in place rather than ballooning the wirelength.
     """
     if skew_bound < 0:
         raise ValueError(f"negative skew bound {skew_bound}")
+    if max_extra_wl is not None and max_extra_wl < 0:
+        raise ValueError(f"negative wirelength budget {max_extra_wl}")
     model = model or LinearDelay()
+    budget = [math.inf if max_extra_wl is None else max_extra_wl]
 
     wire_before = tree.wirelength()
     lo: dict[int, float] = {}
@@ -65,7 +72,7 @@ def repair_skew(
             if best is not None:
                 tree.move_node(nid, best)
 
-        _snake_children(tree, model, skew_bound, nid, lo, hi, cap)
+        _snake_children(tree, model, skew_bound, nid, lo, hi, cap, budget)
 
         shifted = [
             (lo[cid] + model.wire_delay(tree.edge_length(cid), cap[cid]),
@@ -175,6 +182,7 @@ def _snake_children(
     lo: dict[int, float],
     hi: dict[int, float],
     cap: dict[int, float],
+    budget: list[float],
 ) -> None:
     node = tree.node(nid)
     shifted: dict[int, float] = {}
@@ -192,6 +200,10 @@ def _snake_children(
             continue
         arm = tree.edge_length(cid)
         extra = _extension_for_added_delay(model, arm, deficit, cap[cid])
+        extra = min(extra, budget[0])
+        if extra <= 0:
+            continue
+        budget[0] -= extra
         tree.set_detour(cid, tree.node(cid).detour + extra)
 
 

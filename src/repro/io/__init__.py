@@ -1,11 +1,12 @@
 """Plain-text I/O and report rendering."""
 
 from repro.io.netfile import read_net, write_net
-from repro.io.report import format_table, normalized_average
+from repro.io.report import format_diagnostics, format_table, normalized_average
 from repro.io.spef import write_spef
 from repro.io.treefile import read_tree, write_tree
 
 __all__ = [
+    "format_diagnostics",
     "format_table",
     "normalized_average",
     "read_net",

@@ -13,6 +13,7 @@ examples and external users can exchange test cases without pickling.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 from repro.geometry import Point
@@ -32,36 +33,67 @@ def write_net(net: ClockNet, path: str | Path) -> None:
 
 
 def read_net(path: str | Path) -> ClockNet:
-    """Parse a clock net written by :func:`write_net`."""
+    """Parse a clock net written by :func:`write_net`.
+
+    Malformed input raises ``ValueError`` carrying the file name and the
+    1-based line number (never a bare ``IndexError``/``ValueError`` from
+    tokenising), so CLI users see where the problem is.
+    """
+    path = Path(path)
     name: str | None = None
     source: Point | None = None
     sinks: list[Sink] = []
-    for raw_line in Path(path).read_text().splitlines():
+    for lineno, raw_line in enumerate(path.read_text().splitlines(), 1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
         parts = line.split()
         kind = parts[0]
+
+        def _bad(why: str) -> ValueError:
+            return ValueError(
+                f"{path.name}:{lineno}: {why}: {raw_line!r}"
+            )
+
+        def _num(token: str, what: str) -> float:
+            try:
+                value = float(token)
+            except ValueError:
+                raise _bad(f"bad {what} {token!r}") from None
+            if math.isnan(value):
+                raise _bad(f"bad {what} {token!r}")
+            return value
+
         if kind == "net":
             if len(parts) != 2:
-                raise ValueError(f"malformed net line: {raw_line!r}")
+                raise _bad("malformed net line")
             name = parts[1]
         elif kind == "source":
             if len(parts) != 3:
-                raise ValueError(f"malformed source line: {raw_line!r}")
-            source = Point(float(parts[1]), float(parts[2]))
+                raise _bad("malformed source line")
+            source = Point(_num(parts[1], "x coordinate"),
+                           _num(parts[2], "y coordinate"))
         elif kind == "sink":
             if len(parts) not in (5, 6):
-                raise ValueError(f"malformed sink line: {raw_line!r}")
-            delay = float(parts[5]) if len(parts) == 6 else 0.0
-            sinks.append(Sink(
-                parts[1],
-                Point(float(parts[2]), float(parts[3])),
-                cap=float(parts[4]),
-                subtree_delay=delay,
-            ))
+                raise _bad("malformed sink line")
+            delay = _num(parts[5], "subtree delay") if len(parts) == 6 \
+                else 0.0
+            location = Point(_num(parts[2], "x coordinate"),
+                             _num(parts[3], "y coordinate"))
+            cap = _num(parts[4], "capacitance")
+            try:
+                sink = Sink(parts[1], location, cap=cap,
+                            subtree_delay=delay)
+            except ValueError as exc:
+                raise _bad(str(exc)) from None
+            sinks.append(sink)
         else:
-            raise ValueError(f"unknown record {kind!r} in {raw_line!r}")
+            raise _bad(f"unknown record {kind!r}")
     if name is None or source is None:
-        raise ValueError("net file must contain 'net' and 'source' lines")
-    return ClockNet(name, source, sinks)
+        raise ValueError(
+            f"{path.name}: net file must contain 'net' and 'source' lines"
+        )
+    try:
+        return ClockNet(name, source, sinks)
+    except ValueError as exc:
+        raise ValueError(f"{path.name}: {exc}") from None

@@ -41,6 +41,44 @@ def _fmt(cell: object, precision: int) -> str:
     return str(cell)
 
 
+def format_diagnostics(diag) -> str:
+    """Render a :class:`~repro.flowguard.diagnostics.FlowDiagnostics` as
+    the flow's post-run summary block.
+
+    Accepts any object with ``summary_rows()``, ``stage_time_s`` and
+    ``summary()`` (duck-typed so this module stays dependency-free).
+    """
+    lines = []
+    rows = diag.summary_rows()
+    if rows:
+        display = [
+            [stage, kind, count, _truncate(str(detail), 60)]
+            for stage, kind, count, detail in rows
+        ]
+        lines.append(format_table(
+            ["stage", "event", "count", "last detail"],
+            display,
+            title="flow diagnostics",
+        ))
+    if diag.stage_time_s:
+        lines.append(format_table(
+            ["stage", "time(s)"],
+            [[stage, t] for stage, t in sorted(
+                diag.stage_time_s.items(), key=lambda kv: -kv[1]
+            )],
+            title="stage wall time",
+            precision=3,
+        ))
+    lines.append(diag.summary())
+    return "\n".join(lines)
+
+
+def _truncate(text: str, limit: int) -> str:
+    if len(text) <= limit:
+        return text
+    return text[: limit - 1] + "…"
+
+
 def normalized_average(columns: dict[str, list[float]]) -> dict[str, float]:
     """Paper-style "Avg." row: per-tool geometric mean over designs,
     normalised so the first tool reads 1.000.

@@ -48,39 +48,84 @@ def tree_to_dict(tree: RoutedTree) -> dict:
 
 def tree_from_dict(data: dict, library: BufferLibrary | None = None) -> RoutedTree:
     """Deserialise; ``library`` resolves buffer names (required when the
-    tree contains buffers)."""
+    tree contains buffers).
+
+    Malformed structures raise ``ValueError`` naming the offending node
+    — missing keys or wrong shapes never surface as bare ``KeyError`` /
+    ``TypeError``.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"tree data must be a JSON object, got {type(data).__name__}"
+        )
     if data.get("format") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported tree format {data.get('format')!r}; "
             f"expected {FORMAT_VERSION}"
         )
-    nodes = data["nodes"]
-    if not nodes or nodes[0]["parent"] is not None:
+    nodes = data.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        raise ValueError("tree data must carry a non-empty 'nodes' list")
+    if _entry_get(nodes[0], 0, "parent") is not None:
         raise ValueError("first node must be the parentless root")
 
-    tree = RoutedTree(Point(nodes[0]["x"], nodes[0]["y"]))
-    id_map = {nodes[0]["id"]: tree.root}
+    tree = RoutedTree(Point(_entry_get(nodes[0], 0, "x"),
+                            _entry_get(nodes[0], 0, "y")))
+    id_map = {_entry_get(nodes[0], 0, "id"): tree.root}
     _apply_decorations(tree, tree.root, nodes[0], library)
-    for entry in nodes[1:]:
-        parent = entry["parent"]
+    for index, entry in enumerate(nodes[1:], 1):
+        parent = _entry_get(entry, index, "parent")
         if parent not in id_map:
-            raise ValueError(f"node {entry['id']} references unknown parent "
-                             f"{parent} (nodes must be in preorder)")
+            raise ValueError(
+                f"node {entry.get('id')} references unknown parent "
+                f"{parent} (nodes must be in preorder)"
+            )
         sink = None
         if "sink" in entry:
             s = entry["sink"]
-            sink = Sink(s["name"], Point(s["x"], s["y"]), cap=s["cap"],
-                        subtree_delay=s.get("subtree_delay", 0.0))
-        nid = tree.add_child(
-            id_map[parent],
-            Point(entry["x"], entry["y"]),
-            sink=sink,
-            detour=entry.get("detour", 0.0),
-        )
-        id_map[entry["id"]] = nid
+            if not isinstance(s, dict):
+                raise ValueError(
+                    f"node {entry.get('id')}: 'sink' must be an object"
+                )
+            try:
+                sink = Sink(s["name"], Point(s["x"], s["y"]), cap=s["cap"],
+                            subtree_delay=s.get("subtree_delay", 0.0))
+            except KeyError as exc:
+                raise ValueError(
+                    f"node {entry.get('id')}: sink is missing field {exc}"
+                ) from None
+        try:
+            nid = tree.add_child(
+                id_map[parent],
+                Point(_entry_get(entry, index, "x"),
+                      _entry_get(entry, index, "y")),
+                sink=sink,
+                detour=entry.get("detour", 0.0),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"node {entry.get('id')}: {exc}"
+            ) from None
+        id_map[_entry_get(entry, index, "id")] = nid
         _apply_decorations(tree, nid, entry, library)
     tree.validate()
     return tree
+
+
+def _entry_get(entry: object, index: int, key: str):
+    """Field access on one node entry with a typed, located error."""
+    if not isinstance(entry, dict):
+        raise ValueError(
+            f"node entry #{index} must be an object, "
+            f"got {type(entry).__name__}"
+        )
+    try:
+        return entry[key]
+    except KeyError:
+        raise ValueError(
+            f"node entry #{index} (id {entry.get('id')!r}) is missing "
+            f"field {key!r}"
+        ) from None
 
 
 def _apply_decorations(
@@ -101,4 +146,14 @@ def write_tree(tree: RoutedTree, path: str | Path) -> None:
 
 
 def read_tree(path: str | Path, library: BufferLibrary | None = None) -> RoutedTree:
-    return tree_from_dict(json.loads(Path(path).read_text()), library)
+    """Load a tree file; malformed content raises ``ValueError`` naming
+    the file (JSON syntax errors include line/column from the decoder)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path.name}: not valid JSON ({exc})") from None
+    try:
+        return tree_from_dict(data, library)
+    except ValueError as exc:
+        raise ValueError(f"{path.name}: {exc}") from None

@@ -85,3 +85,45 @@ def test_normalized_average_validation():
         normalized_average({})
     with pytest.raises(ValueError):
         normalized_average({"a": []})
+
+
+# ----------------------------------------------------------------------
+# Typed errors with file name and line number
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("body,lineno,why", [
+    ("net n\nsource 0 0\nsink s abc 2 0.5\n", 3, "bad x coordinate"),
+    ("net n\nsource 0 0\nsink s 1 nan 0.5\n", 3, "bad y coordinate"),
+    ("net n\nsource 0 0\nwarp s 1 2\n", 3, "unknown record"),
+    ("net n\nsource 0 0\nsink s 1 2 -3\n", 3, "negative"),
+    ("net n\nsource 0 0\nsink s 1 2 0.5\nsink s 3 4 0.5\n", 0, "duplicate"),
+])
+def test_read_net_errors_carry_location(tmp_path, body, lineno, why):
+    path = tmp_path / "bad.net"
+    path.write_text(body)
+    with pytest.raises(ValueError) as err:
+        read_net(path)
+    message = str(err.value)
+    assert "bad.net" in message
+    assert why in message
+    if lineno:
+        assert f"bad.net:{lineno}:" in message
+
+
+def test_read_net_missing_file_is_oserror(tmp_path):
+    with pytest.raises(OSError):
+        read_net(tmp_path / "nope.net")
+
+
+def test_format_diagnostics_renders_events_and_times():
+    from repro.flowguard import FlowDiagnostics
+    from repro.io import format_diagnostics
+
+    diag = FlowDiagnostics()
+    diag.record("route", "retry", level=0, net="c0",
+                detail="x" * 100)  # long detail must be truncated
+    diag.add_time("route", 0.25)
+    out = format_diagnostics(diag)
+    assert "retry" in out and "route" in out
+    assert "0.25" in out
+    assert "x" * 100 not in out  # truncated
+    assert "degraded" in out

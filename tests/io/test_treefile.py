@@ -95,3 +95,34 @@ def test_json_is_plain(tmp_path):
     data = json.loads(path.read_text())
     assert data["format"] == 1
     assert isinstance(data["nodes"], list)
+
+
+# ----------------------------------------------------------------------
+# Corrupt tree files must raise located ValueErrors, not raw KeyErrors
+# ----------------------------------------------------------------------
+def test_read_tree_invalid_json_names_file(tmp_path):
+    path = tmp_path / "broken.tree"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="broken.tree.*not valid JSON"):
+        read_tree(path)
+
+
+@pytest.mark.parametrize("payload,why", [
+    ("[1, 2, 3]", "must be a JSON object"),
+    ('{"root": 0}', "unsupported tree format"),
+    ('{"format": 1, "root": 0}', "non-empty 'nodes' list"),
+    ('{"format": 1, "nodes": [{"id": 0, "x": 1.0, "parent": null}]}',
+     "missing field 'y'"),
+    ('{"format": 1, "nodes": [[0, 1.0, 2.0]]}', "must be an object"),
+    ('{"format": 1, "nodes": ['
+     '{"id": 0, "x": 0, "y": 0, "parent": null},'
+     '{"id": 1, "x": 1, "y": 1, "parent": 0, "sink": {"name": "s"}}]}',
+     "sink is missing field"),
+])
+def test_read_tree_corrupt_payloads(tmp_path, payload, why):
+    path = tmp_path / "corrupt.tree"
+    path.write_text(payload)
+    with pytest.raises(ValueError) as err:
+        read_tree(path)
+    assert "corrupt.tree" in str(err.value)
+    assert why in str(err.value)

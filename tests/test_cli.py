@@ -83,3 +83,101 @@ def test_route_spef_output(netfile, tmp_path, capsys):
     spef_path = tmp_path / "out.spef"
     assert main(["route", str(netfile), "--spef", str(spef_path)]) == 0
     assert "*D_NET" in spef_path.read_text()
+
+
+# ----------------------------------------------------------------------
+# Typed failures exit 2 with a one-line message, not a traceback
+# ----------------------------------------------------------------------
+def test_missing_netfile_exits_2(tmp_path, capsys):
+    assert main(["route", str(tmp_path / "absent.net")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "absent.net" in err
+
+
+def test_malformed_netfile_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.net"
+    path.write_text("net n\nsource 0 0\nsink s oops 2 0.5\n")
+    assert main(["route", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "bad.net:3:" in err
+
+
+def test_unknown_buffer_in_treefile_exits_2(tmp_path, capsys):
+    path = tmp_path / "t.tree"
+    path.write_text(json.dumps({
+        "format": 1,
+        "nodes": [
+            {"id": 0, "x": 0, "y": 0, "parent": None, "buffer": "BUF_X999"},
+        ],
+    }))
+    assert main(["check", str(path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# flow diagnostics + --strict
+# ----------------------------------------------------------------------
+def test_flow_ours_prints_diagnostics(capsys):
+    assert main(["flow", "--design", "s38584", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "flow diagnostics" in out or "flow clean" in out
+
+
+def test_flow_strict_clean_run_passes(capsys):
+    assert main(["flow", "--design", "s38584", "--scale", "0.05",
+                 "--strict"]) == 0
+
+
+def test_flow_strict_fails_on_degradation(monkeypatch, capsys):
+    import repro.cli as cli_mod
+    from repro.cts import FlowConfig, HierarchicalCTS
+    from repro.flowguard import FaultInjector
+    from repro.core.cbs import cbs as cbs_router
+
+    real_init = HierarchicalCTS.__init__
+
+    def sabotaged_init(self, *args, **kwargs):
+        real_init(self, *args, **kwargs)
+        injector = FaultInjector(rate=1.0, seed=0, name="router")
+        self._config = FlowConfig(
+            sa_iterations=10, router=injector.wrap(cbs_router)
+        )
+
+    monkeypatch.setattr(cli_mod.HierarchicalCTS, "__init__", sabotaged_init)
+    assert main(["flow", "--design", "s38584", "--scale", "0.05",
+                 "--strict"]) == 1
+    captured = capsys.readouterr()
+    assert "strict mode" in captured.err
+    assert "retry" in captured.out or "downgrade" in captured.out
+    # without --strict the very same degraded flow succeeds
+    assert main(["flow", "--design", "s38584", "--scale", "0.05"]) == 0
+
+
+# ----------------------------------------------------------------------
+# check subcommand
+# ----------------------------------------------------------------------
+def test_check_clean_tree_exits_0(netfile, tmp_path, capsys):
+    tree_path = tmp_path / "t.json"
+    assert main(["route", str(netfile), "--save-tree", str(tree_path)]) == 0
+    capsys.readouterr()
+    assert main(["check", str(tree_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_check_violating_tree_exits_1(netfile, tmp_path, capsys):
+    tree_path = tmp_path / "t.json"
+    assert main(["route", str(netfile), "--save-tree", str(tree_path)]) == 0
+    capsys.readouterr()
+    assert main(["check", str(tree_path), "--max-length", "0.5",
+                 "--max-fanout", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "violation" in out
+    assert "span" in out and "fanout" in out
+
+
+def test_check_bad_json_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.tree"
+    path.write_text("{oops")
+    assert main(["check", str(path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err

@@ -142,3 +142,73 @@ def test_large_coordinates_no_overflow():
     tree = zst_dme(net)
     pls = list(tree.sink_path_lengths().values())
     assert max(pls) - min(pls) <= 1e-3  # relative precision at 1e7 scale
+
+
+# ----------------------------------------------------------------------
+# Guarded flow: injected router faults must degrade, never abort
+# ----------------------------------------------------------------------
+def test_flow_survives_twenty_percent_router_failures():
+    from repro.core.cbs import cbs as cbs_router
+    from repro.cts import FlowConfig, HierarchicalCTS
+    from repro.designs import load_design
+    from repro.flowguard import FaultInjector
+
+    design = load_design("s38584", scale=0.1)
+    injector = FaultInjector(rate=0.2, seed=7, name="router")
+    cfg = FlowConfig(sa_iterations=20, router=injector.wrap(cbs_router))
+    result = HierarchicalCTS(tech=Technology(), config=cfg).run(
+        design.sinks, design.source
+    )
+    diag = result.diagnostics
+    assert injector.fired > 0
+    # every injected fault was absorbed by the fallback chain and logged
+    injected = [e for e in diag.events if "injected fault" in e.detail]
+    assert len(injected) == injector.fired
+    assert diag.degraded and (diag.retries + diag.downgrades) > 0
+    # and the flow still produced a complete, structurally sound tree
+    result.tree.validate()
+    assert len(result.tree.sinks()) == len(design.sinks)
+    assert sorted(s.name for s in result.tree.sinks()) == sorted(
+        s.name for s in design.sinks
+    )
+
+
+# ----------------------------------------------------------------------
+# graft_subtrees: hierarchy assembly must preserve every leaf sink
+# ----------------------------------------------------------------------
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@given(st.integers(min_value=16, max_value=40),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_graft_preserves_sinks_across_levels(n, seed):
+    from repro.core.cbs import cbs as cbs_router
+    from repro.cts.framework import graft_subtrees
+    from repro.flowguard import forced_median_split
+
+    rng = random.Random(seed)
+    leaves = [
+        Sink(f"ff{i}", Point(rng.uniform(0, 200), rng.uniform(0, 200)),
+             cap=1.0 + rng.random())
+        for i in range(n)
+    ]
+    subtrees = {}
+    current, level = leaves, 0
+    while len(current) > 3:  # at least 2 clustering levels for n >= 8
+        clusters = forced_median_split(current, 4)
+        nxt = []
+        for i, cluster in enumerate(clusters):
+            name = f"drv_L{level}_{i}"
+            net = ClockNet(name, cluster.center, list(cluster.sinks))
+            subtrees[name] = cbs(net, 10.0)
+            nxt.append(Sink(name, cluster.center, cap=2.0))
+        current, level = nxt, level + 1
+    assert level >= 2
+    top = cbs(ClockNet("top", Point(100, 100), current), 10.0)
+
+    full = graft_subtrees(top, subtrees)
+    full.validate()
+    got = sorted((s.name, s.location.x, s.location.y) for s in full.sinks())
+    want = sorted((s.name, s.location.x, s.location.y) for s in leaves)
+    assert got == want
