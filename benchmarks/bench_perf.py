@@ -1,0 +1,58 @@
+"""Extension bench: the hot-path performance trajectory.
+
+Runs the full hierarchical flow on the fixed-seed uniform designs at
+200/500/1000/2000 sinks (``REPRO_PERF_SIZES`` overrides, comma
+separated), pulls per-stage wall times from the run's FlowDiagnostics,
+and writes the machine-readable trajectory to the shared
+``benchmarks/results/`` path.  A run at the canonical default sizes
+also refreshes ``BENCH_perf.json`` at the repo root — the file future
+hot-path changes regress against; override runs never touch it.
+
+The quality columns (wirelength / skew / buffers) are part of the
+trajectory on purpose: a "speedup" that changes them is a different
+algorithm, not an optimisation.
+"""
+
+import os
+from pathlib import Path
+
+from repro.perf import (
+    DEFAULT_SIZES,
+    format_perf_table,
+    run_perf,
+    write_bench_json,
+)
+
+from conftest import emit
+
+ROOT_TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_PERF_SIZES", "")
+    if not raw:
+        return DEFAULT_SIZES
+    return tuple(int(tok) for tok in raw.split(",") if tok.strip())
+
+
+def test_perf_trajectory(once):
+    sizes = _sizes()
+    payload = once(run_perf, sizes)
+    emit("perf", format_perf_table(payload), data=payload)
+    if sizes == DEFAULT_SIZES:
+        # only a canonical-size run may replace the committed trajectory;
+        # REPRO_PERF_SIZES smoke runs stay in benchmarks/results/
+        write_bench_json(payload, ROOT_TRAJECTORY)
+
+    records = payload["records"]
+    assert [r["sinks"] for r in records] == list(sizes)
+    for rec in records:
+        # the hierarchical stages must all be visible in the breakdown
+        assert {"partition", "route", "buffer"} <= set(rec["stage_time_s"])
+        assert rec["runtime_s"] > 0
+        assert rec["num_buffers"] > 0
+    # near-linear growth: 10x sinks must cost far less than 100x time
+    first, last = records[0], records[-1]
+    growth = last["runtime_s"] / max(first["runtime_s"], 1e-9)
+    size_growth = last["sinks"] / first["sinks"]
+    assert growth < size_growth ** 2

@@ -11,6 +11,7 @@ and writes it to ``benchmarks/results/``.  Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import random
 from pathlib import Path
@@ -31,11 +32,22 @@ def env_float(name: str, default: float) -> float:
     return float(os.environ.get(name, default))
 
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduced table and persist it under benchmarks/results."""
+def emit(name: str, text: str, data: object | None = None) -> None:
+    """Print a reproduced table and persist it under benchmarks/results.
+
+    ``data``, when given, is additionally written as a JSON sidecar
+    (``benchmarks/results/{name}.json``) so every bench shares one
+    machine-readable output path alongside the human-readable table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+    written = f"benchmarks/results/{name}.txt"
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        written += f" + {name}.json"
+    print(f"\n{text}\n[written to {written}]")
 
 
 def random_clock_net(

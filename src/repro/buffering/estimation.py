@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 
 from repro.tech.buffer_library import BufferLibrary, BufferType
-from repro.tech.technology import Technology
+from repro.tech.technology import LN9, Technology
 from repro.timing.buffer_model import (
     insertion_delay_lower_bound,
     refined_critical_wirelength,
@@ -59,7 +59,5 @@ def max_span_for_slew(tech: Technology, max_slew: float) -> float:
     """
     if max_slew <= 0:
         raise ValueError(f"max_slew must be positive, got {max_slew}")
-    from repro.tech.technology import LN9
-
     rc = tech.rc_per_um2_ps()
     return math.sqrt(2.0 * max_slew / (LN9 * rc))

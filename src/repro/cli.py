@@ -10,6 +10,9 @@ Commands:
   fatal);
 * ``check``   — run the flow-guard constraint checker (skew / cap /
   fanout / span DRC) on a saved tree file;
+* ``bench``   — run the fixed-seed performance trajectory (full flow at
+  several sink counts, per-stage wall times from FlowDiagnostics) and
+  write machine-readable ``BENCH_perf.json``;
 * ``designs`` — list the benchmark catalog;
 * ``gallery`` — render every topology algorithm on one net into SVGs
   (the Fig. 1 gallery).
@@ -171,6 +174,20 @@ def cmd_check(args) -> int:
     return 1
 
 
+def cmd_bench(args) -> int:
+    from repro.perf import format_perf_table, run_perf, write_bench_json
+
+    sizes = tuple(args.sizes)
+    if any(n <= 0 for n in sizes):
+        raise ValueError(f"sink counts must be positive, got {sizes}")
+    payload = run_perf(sizes=sizes, seed=args.seed,
+                       sa_iterations=args.sa_iterations)
+    print(format_perf_table(payload))
+    path = write_bench_json(payload, args.out)
+    print(f"trajectory written to {path}")
+    return 0
+
+
 def cmd_designs(_args) -> int:
     from repro.designs import TABLE4_SPECS
 
@@ -250,6 +267,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--max-length", type=float,
                          default=TABLE5.max_length, help="um")
     p_check.set_defaults(func=cmd_check)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the fixed-seed performance trajectory"
+    )
+    p_bench.add_argument(
+        "--sizes", type=int, nargs="+", default=[200, 500, 1000, 2000],
+        help="sink counts to run (default: 200 500 1000 2000)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--sa-iterations", type=int, default=100)
+    p_bench.add_argument(
+        "--out", default="BENCH_perf.json",
+        help="machine-readable output path (default: BENCH_perf.json)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_designs = sub.add_parser("designs", help="list the benchmark catalog")
     p_designs.set_defaults(func=cmd_designs)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.buffering.estimation import max_span_for_slew
+
 
 @dataclass(frozen=True, slots=True)
 class Constraints:
@@ -58,8 +60,6 @@ class Constraints:
         slew constraint when one is set."""
         if self.max_slew is None:
             return self.max_length
-        from repro.buffering.estimation import max_span_for_slew
-
         return min(self.max_length, max_span_for_slew(tech, self.max_slew))
 
 

@@ -50,7 +50,7 @@ from repro.geometry import Point, manhattan_center
 from repro.netlist.net import ClockNet
 from repro.netlist.sink import Sink
 from repro.netlist.tree import RoutedTree
-from repro.partition.annealing import SAConfig, anneal_partition
+from repro.partition.annealing import SAConfig, anneal_partition, total_cost
 from repro.partition.clustering import Cluster, cluster_cap
 from repro.partition.kmeans import balanced_kmeans
 from repro.tech.buffer_library import BufferLibrary, default_library
@@ -242,8 +242,6 @@ class HierarchicalCTS:
             if worst <= cons.max_cap or max_size <= 2:
                 break
             max_size = max(2, max_size // 2)
-
-        from repro.partition.annealing import total_cost
 
         sa_cfg = SAConfig(
             iterations=cfg.sa_iterations,

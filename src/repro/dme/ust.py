@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from repro.dme.dme import embed, _resolve_topology
-from repro.dme.merging import MergeSpec
+from repro.dme.merging import MergeSpec, merge_specs
 from repro.dme.models import DelayModel, LinearDelay
 from repro.geometry import rotate45
 from repro.geometry.segment import Rect
@@ -85,8 +85,6 @@ def _build_with_windows(
     # reuse the generic bottom-up pass with swapped leaf construction
     spec_of: dict[int, MergeSpec] = {}
     stack: list[tuple[TopologyNode, bool]] = [(topo, False)]
-    from repro.dme.merging import merge_specs
-
     while stack:
         node, expanded = stack.pop()
         if node.is_leaf:

@@ -21,6 +21,14 @@ import numpy as np
 
 from repro.geometry import Point
 
+# Imported at module scope so the (expensive) scipy load is paid at
+# startup, not inside the first HierarchicalCTS.run; gated so the
+# from-scratch solver and regret-greedy tiers still work without scipy.
+try:
+    from scipy.optimize import linear_sum_assignment
+except ImportError:  # pragma: no cover - scipy is a standard dependency
+    linear_sum_assignment = None
+
 _INF = float("inf")
 
 
@@ -184,8 +192,8 @@ def balanced_assign(
 def _assign_lsa(dists: np.ndarray, capacity: int) -> list[int]:
     """Exact capacitated assignment via rectangular LSA on duplicated
     center columns."""
-    from scipy.optimize import linear_sum_assignment
-
+    if linear_sum_assignment is None:
+        return _regret_greedy(dists, capacity)
     expanded = np.repeat(dists, capacity, axis=1)
     rows, cols = linear_sum_assignment(expanded)
     assignment = [-1] * dists.shape[0]

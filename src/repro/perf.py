@@ -1,0 +1,123 @@
+"""The performance-trajectory harness behind ``repro bench``.
+
+Runs the full hierarchical flow on fixed-seed uniform placements of
+increasing size, pulls per-stage wall times out of the
+:class:`~repro.flowguard.diagnostics.FlowDiagnostics` that every run
+already carries, and serialises the result as machine-readable JSON
+(``BENCH_perf.json`` by convention) — the trajectory file future
+changes regress against.  Quality metrics (wirelength, latency, skew,
+buffer count) ride along so a perf regression that silently trades
+quality is caught by the same file.
+
+The design generator is deliberately tiny and deterministic: the same
+``(n, seed)`` always yields the same placement, so two checkouts of the
+code can be compared number-for-number.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.cts import FlowConfig, HierarchicalCTS
+from repro.cts.evaluation import evaluate_result
+from repro.geometry import Point
+from repro.io import format_table
+from repro.netlist import Sink
+from repro.tech import Technology
+
+#: Sizes of the standard trajectory (matches benchmarks/bench_scaling.py).
+DEFAULT_SIZES = (200, 500, 1000, 2000)
+
+#: Bumped whenever the JSON layout changes.
+SCHEMA_VERSION = 1
+
+
+def make_uniform_sinks(
+    n: int, seed: int = 0
+) -> tuple[list[Sink], float]:
+    """Fixed-seed uniform placement; returns (sinks, die side in um).
+
+    Density is held roughly constant as ``n`` grows (side ~ sqrt(n)),
+    the same family ``benchmarks/bench_scaling.py`` uses.
+    """
+    rng = random.Random(seed)
+    side = 40.0 * (n ** 0.5) / 10.0 + 60.0
+    sinks = [
+        Sink(f"ff{i}", Point(rng.uniform(0, side), rng.uniform(0, side)),
+             cap=1.0)
+        for i in range(n)
+    ]
+    return sinks, side
+
+
+def run_perf(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = 0,
+    sa_iterations: int = 100,
+) -> dict:
+    """Run the flow at every size; returns the JSON-ready payload."""
+    tech = Technology()
+    records = []
+    for n in sizes:
+        sinks, side = make_uniform_sinks(n, seed)
+        source = Point(side / 2, side / 2)
+        engine = HierarchicalCTS(
+            tech=tech, config=FlowConfig(sa_iterations=sa_iterations)
+        )
+        t0 = time.perf_counter()
+        result = engine.run(sinks, source)
+        wall_s = time.perf_counter() - t0
+        report = evaluate_result(result, tech)
+        diag = result.diagnostics
+        records.append({
+            "sinks": n,
+            "runtime_s": round(wall_s, 4),
+            "stage_time_s": {
+                stage: round(t, 4)
+                for stage, t in sorted(diag.stage_time_s.items())
+            } if diag is not None else {},
+            "wirelength_um": report.clock_wl_um,
+            "latency_ps": report.latency_ps,
+            "skew_ps": report.skew_ps,
+            "num_buffers": report.num_buffers,
+            "flow_events": len(diag.events) if diag is not None else 0,
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "perf",
+        "seed": seed,
+        "sa_iterations": sa_iterations,
+        "python": platform.python_version(),
+        "records": records,
+    }
+
+
+def write_bench_json(payload: dict, path: str | Path) -> Path:
+    """Write a bench payload as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_perf_table(payload: dict) -> str:
+    """Human-readable rendering of a ``run_perf`` payload."""
+    stages = sorted({
+        stage for rec in payload["records"] for stage in rec["stage_time_s"]
+    })
+    rows = [
+        [rec["sinks"], rec["runtime_s"]]
+        + [rec["stage_time_s"].get(stage, 0.0) for stage in stages]
+        + [rec["wirelength_um"], rec["skew_ps"], rec["num_buffers"]]
+        for rec in payload["records"]
+    ]
+    return format_table(
+        ["#FFs", "total(s)"] + [f"{s}(s)" for s in stages]
+        + ["WL(um)", "skew(ps)", "#buf"],
+        rows,
+        title=f"perf trajectory (seed {payload['seed']})",
+        precision=2,
+    )

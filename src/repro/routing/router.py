@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.geometry import Point
 from repro.netlist.tree import RoutedTree
+from repro.netlist.tree_ops import realize_detours
 from repro.routing.grid import RoutingGrid
 
 _Z_FRACTIONS = (0.25, 0.5, 0.75)
@@ -47,8 +48,6 @@ def route_tree(
     snaking causes is therefore counted honestly.
     """
     if any(tree.node(nid).detour > 1e-9 for nid in tree.node_ids()):
-        from repro.netlist.tree_ops import realize_detours
-
         tree = tree.copy()
         realize_detours(tree)
     edges = []

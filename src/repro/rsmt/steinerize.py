@@ -22,7 +22,10 @@ def _median(a: Point, b: Point, c: Point) -> Point:
 
 
 def median_steinerize(
-    tree: RoutedTree, tol: float = 1e-9, max_passes: int = 20
+    tree: RoutedTree,
+    tol: float = 1e-9,
+    max_passes: int = 20,
+    changes: list[tuple[float, float, float, float]] | None = None,
 ) -> float:
     """Insert median Steiner points in place; returns total length saved.
 
@@ -35,27 +38,53 @@ def median_steinerize(
 
     Passes repeat until a full pass yields no gain.  Only detour-free edges
     participate (detours encode deliberate snaking that must be preserved).
+
+    ``changes``, when given, collects one bounding box (x1, y1, x2, y2)
+    per collapse, covering every edge the collapse created — the dirty
+    regions the edge-reattachment pass uses to avoid re-scanning
+    untouched parts of the tree.  Medians never change path lengths, so
+    these boxes are the *only* regions where new reattachment
+    opportunities can appear.
     """
     total_gain = 0.0
     for _ in range(max_passes):
-        gain = _one_pass(tree, tol)
+        gain = _one_pass(tree, tol, changes)
         if gain <= tol:
             break
         total_gain += gain
     return total_gain
 
 
-def _one_pass(tree: RoutedTree, tol: float) -> float:
+def _one_pass(
+    tree: RoutedTree,
+    tol: float,
+    changes: list[tuple[float, float, float, float]] | None,
+) -> float:
     gain = 0.0
     for nid in list(tree.preorder()):
         if nid not in tree:
             continue
-        gain += _collapse_children_pairs(tree, nid, tol)
-        gain += _collapse_parent_child(tree, nid, tol)
+        gain += _collapse_children_pairs(tree, nid, tol, changes)
+        gain += _collapse_parent_child(tree, nid, tol, changes)
     return gain
 
 
-def _collapse_children_pairs(tree: RoutedTree, nid: int, tol: float) -> float:
+def _note_change(
+    changes: list[tuple[float, float, float, float]] | None,
+    pts: tuple[Point, ...],
+) -> None:
+    if changes is not None:
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        changes.append((min(xs), min(ys), max(xs), max(ys)))
+
+
+def _collapse_children_pairs(
+    tree: RoutedTree,
+    nid: int,
+    tol: float,
+    changes: list[tuple[float, float, float, float]] | None = None,
+) -> float:
     gain = 0.0
     improved = True
     while improved:
@@ -84,12 +113,21 @@ def _collapse_children_pairs(tree: RoutedTree, nid: int, tol: float) -> float:
             steiner = tree.add_child(nid, m)
             tree.reparent(c1, steiner)
             tree.reparent(c2, steiner)
+            # the median lies inside the bbox of the three endpoints, so
+            # this box covers all three new edges
+            _note_change(changes, (node.location, tree.node(c1).location,
+                                   tree.node(c2).location))
             gain += best_gain
             improved = True
     return gain
 
 
-def _collapse_parent_child(tree: RoutedTree, nid: int, tol: float) -> float:
+def _collapse_parent_child(
+    tree: RoutedTree,
+    nid: int,
+    tol: float,
+    changes: list[tuple[float, float, float, float]] | None = None,
+) -> float:
     node = tree.node(nid)
     if node.parent is None or node.detour > tol:
         return 0.0
@@ -118,4 +156,6 @@ def _collapse_parent_child(tree: RoutedTree, nid: int, tol: float) -> float:
     steiner = tree.add_child(node.parent, m)
     tree.reparent(nid, steiner)
     tree.reparent(cid, steiner)
+    _note_change(changes, (parent.location, node.location,
+                           tree.node(cid).location))
     return best_gain

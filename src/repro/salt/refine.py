@@ -9,36 +9,96 @@ child2} lies on a shortest Manhattan path between every pair, so adopting
 it as a Steiner point realises exactly the overlap an optimal L-flip would
 expose, *without changing any source-to-sink path length* — the property
 that keeps the shallowness guarantee intact.
+
+The edge-reattachment pass here is the flow's hottest loop (it runs on
+every routed net, several times).  It is implemented two ways:
+
+* a reference brute-force scan (``use_index=False``) — every node against
+  every edge, exactly the published algorithm;
+* the default grid-indexed scan — a spatial hash over edge bounding
+  boxes (:mod:`repro.salt.grid_index`), preorder-interval ancestry tests
+  instead of per-candidate subtree rebuilds, and a dirty-region worklist
+  so later sweeps only revisit nodes near an edge that changed.
+
+The two are *output-identical* — the bbox-distance lower bound that the
+brute-force scan already uses for rejection makes the grid pruning exact,
+and candidates are evaluated in the same ascending-id order so ties break
+identically (see docs/ALGORITHMS.md for the argument).  The property test
+``tests/salt/test_refine_property.py`` enforces this equivalence.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.geometry import Point, manhattan
 from repro.netlist.tree import RoutedTree
 from repro.netlist.tree_ops import prune_redundant_steiner
 from repro.rsmt.steinerize import median_steinerize
+from repro.salt.grid_index import EdgeGridIndex
+
+#: Debug switch: re-validate tree invariants after every ``refine`` call.
+#: Off in the nominal flow (33+ O(n) walks per full-chip run); the test
+#: suite turns it on via ``tests/conftest.py`` or ``REPRO_VALIDATE_REFINE``.
+VALIDATE_REFINED = os.environ.get("REPRO_VALIDATE_REFINE", "") not in ("", "0")
 
 
-def refine(tree: RoutedTree, max_passes: int = 6) -> float:
+class _RefineState:
+    """Dirty-region tracking shared by the sweeps of one refinement run.
+
+    ``events`` is an append-only log of bounding boxes of edges that
+    changed (were created, re-routed, or had their subtree's path
+    lengths / availability changed).  ``stamp[nid]`` is the event-log
+    length when ``nid`` was last evaluated; a node may be skipped iff no
+    event logged since then lies within its attachment radius.  Skipping
+    is exact: a node whose neighbourhood is untouched since an evaluation
+    that found no move still has no move (every input of the evaluation
+    is covered by the event log — see docs/ALGORITHMS.md).
+    """
+
+    __slots__ = ("events", "stamp")
+
+    def __init__(self) -> None:
+        self.events: list[tuple[float, float, float, float]] = []
+        self.stamp: dict[int, int] = {}
+
+
+def refine(
+    tree: RoutedTree, max_passes: int = 6, validate: bool | None = None
+) -> float:
     """Refine in place; returns wirelength saved.
 
     Alternates median steinerisation (local triple sharing) with edge
     reattachment (global overlap discovery) until neither helps.  Both
     operations never increase any source-to-sink path length, so the
     shallowness guarantee of the caller survives refinement.
+
+    ``validate`` gates the post-refinement invariant walk; it defaults
+    to the module-level :data:`VALIDATE_REFINED` debug flag (off in the
+    nominal flow, on under the test suite).
     """
     before = tree.wirelength()
+    state = _RefineState()
     for _ in range(max_passes):
-        gained = median_steinerize(tree)
-        gained += edge_reattach_pass(tree)
+        changes: list[tuple[float, float, float, float]] = []
+        gained = median_steinerize(tree, changes=changes)
+        state.events.extend(changes)
+        gained += edge_reattach_pass(tree, state=state)
         if gained <= 1e-9:
             break
     prune_redundant_steiner(tree)
-    tree.validate()
+    if validate if validate is not None else VALIDATE_REFINED:
+        tree.validate()
     return before - tree.wirelength()
 
 
-def edge_reattach_pass(tree: RoutedTree, tol: float = 1e-9) -> float:
+def edge_reattach_pass(
+    tree: RoutedTree,
+    tol: float = 1e-9,
+    *,
+    use_index: bool = True,
+    state: _RefineState | None = None,
+) -> float:
     """Re-home nodes onto nearby points of existing tree edges.
 
     For every non-root node v, find the point q on some tree edge's
@@ -48,7 +108,141 @@ def edge_reattach_pass(tree: RoutedTree, tol: float = 1e-9) -> float:
     SALT code base performs via L-shape flipping: wirelength strictly
     decreases and every path length is non-increasing, so it is safe
     after any construction (SALT, CBS, RSMT).  Returns wire saved.
+
+    ``use_index=False`` selects the reference all-pairs implementation;
+    the default grid-indexed implementation produces the identical tree.
+    ``state`` carries dirty-region knowledge across calls within one
+    :func:`refine` run so converged regions are not re-scanned.
     """
+    if not use_index:
+        return _edge_reattach_brute(tree, tol)
+    return _edge_reattach_indexed(tree, tol, state)
+
+
+# ----------------------------------------------------------------------
+# Grid-indexed implementation (the default)
+# ----------------------------------------------------------------------
+def _edge_reattach_indexed(
+    tree: RoutedTree, tol: float, state: _RefineState | None
+) -> float:
+    if state is None:
+        state = _RefineState()
+    total_gain = 0.0
+    pl = tree.path_lengths()
+    index = EdgeGridIndex(tree, tol)
+    events = state.events
+    stamp = state.stamp
+    elen = index.elen
+    bbox = index.bbox
+    improved = True
+    passes = 0
+    while improved and passes < 8:
+        improved = False
+        passes += 1
+        for vid in list(tree.preorder()):
+            if vid == tree.root or vid not in tree:
+                continue
+            v = tree.node(vid)
+            if v.detour > tol:
+                continue
+            s = stamp.get(vid)
+            n_events = len(events)
+            if s is not None:
+                if s == n_events:
+                    continue
+                # dirty iff some changed region since the last evaluation
+                # intrudes into v's attachment radius
+                loc = v.location
+                vx, vy = loc.x, loc.y
+                radius = elen[vid] - tol
+                for i in range(s, n_events):
+                    x1, y1, x2, y2 = events[i]
+                    dx = x1 - vx if x1 > vx else (vx - x2 if vx > x2 else 0.0)
+                    dy = y1 - vy if y1 > vy else (vy - y2 if vy > y2 else 0.0)
+                    if dx + dy < radius:
+                        break
+                else:
+                    stamp[vid] = n_events
+                    continue
+            move = _best_attachment_indexed(tree, pl, vid, tol, index)
+            stamp[vid] = len(events)
+            if move is None:
+                continue
+            edge_child, q, gain, new_pl = move
+            parent_of_edge = tree.node(edge_child).parent
+            split = _split_edge(tree, edge_child, q, tol)
+            tree.reparent(vid, split)
+            if split not in pl:
+                pl[split] = pl[parent_of_edge] + tree.edge_length(split)
+            index.add_edge(vid)
+            if split != parent_of_edge and split != edge_child:
+                index.add_edge(split)
+                index.add_edge(edge_child)
+                events.append(bbox[split])
+                events.append(bbox[edge_child])
+            # only v's subtree shifts (by a non-positive delta); its edges
+            # also change availability/path-length for other movers, so
+            # each one is logged as a dirty region
+            delta = new_pl - pl[vid]
+            stack = [vid]
+            while stack:
+                nid = stack.pop()
+                pl[nid] += delta
+                events.append(bbox[nid])
+                stack.extend(tree.node(nid).children)
+            total_gain += gain
+            improved = True
+    return total_gain
+
+
+def _best_attachment_indexed(
+    tree: RoutedTree,
+    pl: dict[int, float],
+    vid: int,
+    tol: float,
+    index: EdgeGridIndex,
+) -> tuple[int, Point, float, float] | None:
+    v = tree.node(vid)
+    vx, vy = v.location.x, v.location.y
+    current_cost = index.elen[vid]
+    tin, tout = tree.preorder_intervals()
+    tv_in, tv_out = tin[vid], tout[vid]
+    pl_budget = pl[vid] + tol
+    best = None
+    best_gain = tol
+    bbox = index.bbox
+    for cid in index.candidates_within(vx, vy, current_cost - tol):
+        child = tree.node(cid)
+        parent_id = child.parent
+        if parent_id is None or child.detour > tol:
+            continue
+        if tv_in <= tin[cid] < tv_out:
+            continue  # cid inside v's subtree (v itself included)
+        if tv_in <= tin[parent_id] < tv_out:
+            continue
+        x1, y1, x2, y2 = bbox[cid]
+        lb = (x1 - vx if x1 > vx else (vx - x2 if vx > x2 else 0.0)) \
+            + (y1 - vy if y1 > vy else (vy - y2 if vy > y2 else 0.0))
+        if current_cost - lb <= best_gain:
+            continue
+        p = tree.node(parent_id)
+        q, walk = _nearest_on_l(p.location, child.location, v.location)
+        d = manhattan(q, v.location)
+        gain = current_cost - d
+        if gain <= best_gain:
+            continue
+        new_pl = pl[parent_id] + walk + d
+        if new_pl > pl_budget:
+            continue  # would lengthen v's path: unsafe for shallowness
+        best = (cid, q, gain, new_pl)
+        best_gain = gain
+    return best
+
+
+# ----------------------------------------------------------------------
+# Reference brute-force implementation (kept for the equivalence tests)
+# ----------------------------------------------------------------------
+def _edge_reattach_brute(tree: RoutedTree, tol: float) -> float:
     total_gain = 0.0
     improved = True
     passes = 0

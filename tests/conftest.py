@@ -1,0 +1,21 @@
+"""Suite-wide fixtures.
+
+The nominal flow skips post-refinement invariant walks for speed
+(``repro.salt.refine.VALIDATE_REFINED``); under the test suite every
+refined tree is validated so a refinement bug fails loudly here rather
+than corrupting a flow silently.
+"""
+
+import importlib
+
+import pytest
+
+# ``repro.salt`` re-exports the ``refine`` *function* under the module's
+# name, so a plain ``import repro.salt.refine as m`` would bind the
+# function instead of the module.
+refine_mod = importlib.import_module("repro.salt.refine")
+
+
+@pytest.fixture(autouse=True)
+def _validate_refined_trees(monkeypatch):
+    monkeypatch.setattr(refine_mod, "VALIDATE_REFINED", True)

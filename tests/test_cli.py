@@ -54,6 +54,27 @@ def test_route_save_outputs(netfile, tmp_path, capsys):
     assert svg_path.read_text().startswith("<svg")
 
 
+def test_bench_writes_trajectory(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_perf.json"
+    assert main([
+        "bench", "--sizes", "40", "60", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "perf trajectory" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["schema_version"] == 1
+    assert [r["sinks"] for r in payload["records"]] == [40, 60]
+    for rec in payload["records"]:
+        assert rec["runtime_s"] > 0
+        assert "route" in rec["stage_time_s"]
+        assert rec["num_buffers"] >= 1
+
+
+def test_bench_rejects_bad_sizes(capsys):
+    assert main(["bench", "--sizes", "0"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
 def test_designs_lists_catalog(capsys):
     assert main(["designs"]) == 0
     out = capsys.readouterr().out
