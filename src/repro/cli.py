@@ -177,15 +177,24 @@ def cmd_check(args) -> int:
 def cmd_bench(args) -> int:
     from repro.perf import format_perf_table, run_perf, write_bench_json
 
-    sizes = tuple(args.sizes)
-    if any(n <= 0 for n in sizes):
-        raise ValueError(f"sink counts must be positive, got {sizes}")
-    payload = run_perf(sizes=sizes, seed=args.seed,
+    payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
                        sa_iterations=args.sa_iterations)
     print(format_perf_table(payload))
     path = write_bench_json(payload, args.out)
     print(f"trajectory written to {path}")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"sink count must be positive, got {value}"
+        )
+    return value
 
 
 def cmd_designs(_args) -> int:
@@ -272,7 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the fixed-seed performance trajectory"
     )
     p_bench.add_argument(
-        "--sizes", type=int, nargs="+", default=[200, 500, 1000, 2000],
+        "--sizes", type=_positive_int, nargs="+",
+        default=[200, 500, 1000, 2000],
         help="sink counts to run (default: 200 500 1000 2000)",
     )
     p_bench.add_argument("--seed", type=int, default=0)

@@ -39,12 +39,15 @@ def median_steinerize(
     Passes repeat until a full pass yields no gain.  Only detour-free edges
     participate (detours encode deliberate snaking that must be preserved).
 
-    ``changes``, when given, collects one bounding box (x1, y1, x2, y2)
-    per collapse, covering every edge the collapse created — the dirty
-    regions the edge-reattachment pass uses to avoid re-scanning
-    untouched parts of the tree.  Medians never change path lengths, so
-    these boxes are the *only* regions where new reattachment
-    opportunities can appear.
+    ``changes``, when given, collects bounding boxes (x1, y1, x2, y2)
+    of every edge a collapse created — the dirty regions the
+    edge-reattachment pass uses to avoid re-scanning untouched parts of
+    the tree.  The children-pair collapse changes no path length (the
+    median lies on a shortest path from u to each child), so its single
+    three-point box is exhaustive.  The parent-child collapse *shortens*
+    the path to c and hence to c's whole subtree, making every edge of
+    that subtree a potentially easier attachment target even though its
+    geometry is untouched; each of those edges is therefore logged too.
     """
     total_gain = 0.0
     for _ in range(max_passes):
@@ -158,4 +161,19 @@ def _collapse_parent_child(
     tree.reparent(cid, steiner)
     _note_change(changes, (parent.location, node.location,
                            tree.node(cid).location))
+    if changes is not None:
+        # Unlike the children-pair pattern, this collapse *shortens* the
+        # path to cid: the new route p -> m -> c replaces p -> u -> c and
+        # is shorter by |m,u| plus the gain.  Every node below cid gets
+        # the same reduction, so edges deep in cid's subtree — geometry
+        # untouched — become easier attachment targets for movers whose
+        # path-length budget test previously failed.  Flag each of them
+        # so the reattachment pass's dirty-region skip stays exact.
+        stack = list(tree.node(cid).children)
+        while stack:
+            wid = stack.pop()
+            w = tree.node(wid)
+            _note_change(changes, (tree.node(w.parent).location,
+                                   w.location))
+            stack.extend(w.children)
     return best_gain

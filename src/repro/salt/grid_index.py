@@ -33,16 +33,15 @@ _OVERSIZE_CELLS = 64
 class EdgeGridIndex:
     """Uniform grid over edge bounding boxes, built per refinement pass."""
 
-    def __init__(self, tree: RoutedTree, tol: float = 1e-9):
+    def __init__(self, tree: RoutedTree):
         self._tree = tree
-        self._tol = tol
         # bbox[cid] = (x1, y1, x2, y2) of the edge parent(cid) -> cid
         self.bbox: dict[int, tuple[float, float, float, float]] = {}
         # elen[cid] = cached edge_length(cid) (manhattan + detour)
         self.elen: dict[int, float] = {}
         self._epoch: dict[int, int] = {}
         self._cells: dict[tuple[int, int], list[tuple[int, int]]] = {}
-        self._oversize: list[int] = []
+        self._oversize: list[tuple[int, int]] = []
 
         xs: list[float] = []
         ys: list[float] = []
@@ -84,7 +83,14 @@ class EdgeGridIndex:
         ix1, ix2 = int(x1 // c), int(x2 // c)
         iy1, iy2 = int(y1 // c), int(y2 // c)
         if (ix2 - ix1 + 1) * (iy2 - iy1 + 1) > _OVERSIZE_CELLS:
-            self._oversize.append(cid)
+            # compact on append: entries whose epoch went stale (the edge
+            # was re-indexed, possibly as non-oversize) would otherwise
+            # linger and be re-scanned with their current bbox forever
+            eps = self._epoch
+            self._oversize = [
+                (oid, ep) for oid, ep in self._oversize if eps.get(oid) == ep
+            ]
+            self._oversize.append((cid, epoch))
             return
         entry = (cid, epoch)
         cells = self._cells
@@ -134,8 +140,8 @@ class EdgeGridIndex:
                     dy = y1 - vy if y1 > vy else (vy - y2 if vy > y2 else 0.0)
                     if dx + dy < radius:
                         out.append(cid)
-        for cid in self._oversize:
-            if cid in seen or cid not in bboxes:
+        for cid, ep in self._oversize:
+            if cid in seen or epoch.get(cid) != ep:
                 continue
             seen.add(cid)
             x1, y1, x2, y2 = bboxes[cid]

@@ -4,11 +4,13 @@ The SALT code base applies three rectilinear refinements: *steinerisation*
 (sharing common H/V runs between sibling edges), *L-shape flipping*
 (choosing the bend of each L route to maximise overlap) and redundant-node
 removal.  On the point-to-point tree representation used here, the first
-two are subsumed by median steinerisation: the median of {parent, child1,
-child2} lies on a shortest Manhattan path between every pair, so adopting
-it as a Steiner point realises exactly the overlap an optimal L-flip would
-expose, *without changing any source-to-sink path length* — the property
-that keeps the shallowness guarantee intact.
+two are subsumed by median steinerisation: the median of a node triple
+lies on a shortest Manhattan path between every pair, so adopting it as a
+Steiner point realises exactly the overlap an optimal L-flip would
+expose, *never increasing any source-to-sink path length* — the property
+that keeps the shallowness guarantee intact.  (The children-pair collapse
+preserves path lengths exactly; the parent-child collapse can shorten
+them, which the dirty-region bookkeeping below must account for.)
 
 The edge-reattachment pass here is the flow's hottest loop (it runs on
 every routed net, several times).  It is implemented two ways:
@@ -89,7 +91,32 @@ def refine(
     prune_redundant_steiner(tree)
     if validate if validate is not None else VALIDATE_REFINED:
         tree.validate()
+    else:
+        _spot_check(tree)
     return before - tree.wirelength()
+
+
+def _spot_check(tree: RoutedTree) -> None:
+    """Constant-cost structural sanity check for the nominal path.
+
+    The full ``validate()`` walk is gated behind :data:`VALIDATE_REFINED`
+    (33+ O(n) walks per flow run); this touches only the root and its
+    immediate children, so gross corruption — a lost root, broken
+    reciprocal pointers at the top of the tree — still fails loudly in
+    production instead of propagating silently through the flow.
+    """
+    root = tree.node(tree.root)
+    if root.parent is not None:
+        raise ValueError(
+            f"refined tree root {tree.root} has parent {root.parent}"
+        )
+    for cid in root.children:
+        parent = tree.node(cid).parent
+        if parent != tree.root:
+            raise ValueError(
+                f"parent pointer of {cid} is {parent}, "
+                f"expected root {tree.root}"
+            )
 
 
 def edge_reattach_pass(
@@ -129,7 +156,7 @@ def _edge_reattach_indexed(
         state = _RefineState()
     total_gain = 0.0
     pl = tree.path_lengths()
-    index = EdgeGridIndex(tree, tol)
+    index = EdgeGridIndex(tree)
     events = state.events
     stamp = state.stamp
     elen = index.elen

@@ -58,6 +58,32 @@ def test_median_steinerize_respects_detours():
     assert gain == 0.0
 
 
+def test_parent_child_collapse_flags_descendant_edges():
+    """The parent-child collapse shortens the path to the reparented
+    child and its whole subtree, so the dirty-region log must cover
+    every edge of that subtree, not just the local triple — otherwise
+    the reattachment pass's skip could wrongly bypass a mover whose
+    path-length budget test the collapse just relaxed."""
+    tree = RoutedTree(Point(0, 0))
+    p = tree.add_child(tree.root, Point(0, 100))
+    u = tree.add_child(p, Point(20, 120))
+    # c strictly inside bbox(p, u): the median is c itself, so the
+    # parent-child pattern at u fires with gain |u, c| = 20
+    c = tree.add_child(u, Point(10, 110), sink=Sink("c", Point(10, 110)))
+    d = tree.add_child(c, Point(10, 60), sink=Sink("d", Point(10, 60)))
+    tree.add_child(d, Point(10, 30), sink=Sink("e", Point(10, 30)))
+
+    changes = []
+    gain = median_steinerize(tree, changes=changes)
+    tree.validate()
+    assert gain == pytest.approx(20.0)
+    # path to c shortened: p->u->c was 160, p->m(=c) is 120
+    assert tree.path_lengths()[c] == pytest.approx(120.0)
+    boxes = set(changes)
+    assert (10, 60, 10, 110) in boxes  # edge c -> d, geometry untouched
+    assert (10, 30, 10, 60) in boxes   # edge d -> e, geometry untouched
+
+
 def net_from_points(pts):
     return ClockNet(
         "n", Point(0, 0),

@@ -71,8 +71,11 @@ def test_bench_writes_trajectory(tmp_path, capsys):
 
 
 def test_bench_rejects_bad_sizes(capsys):
-    assert main(["bench", "--sizes", "0"]) == 2
-    assert "error" in capsys.readouterr().err
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--sizes", "0"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "error" in err and "positive" in err
 
 
 def test_designs_lists_catalog(capsys):
