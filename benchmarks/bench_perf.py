@@ -51,6 +51,9 @@ def test_perf_trajectory(once):
         assert {"partition", "route", "buffer"} <= set(rec["stage_time_s"])
         assert rec["runtime_s"] > 0
         assert rec["num_buffers"] > 0
+        # schema v2: per-kind event breakdown and the obs metrics snapshot
+        assert rec["flow_events"]["total"] >= 0
+        assert rec["metrics"]["counters"]["salt.grid.queries"] > 0
     # near-linear growth: 10x sinks must cost far less than 100x time
     first, last = records[0], records[-1]
     growth = last["runtime_s"] / max(first["runtime_s"], 1e-9)

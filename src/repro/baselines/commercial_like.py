@@ -24,6 +24,8 @@ from repro.cts.framework import CTSResult, FlowConfig, HierarchicalCTS
 from repro.dme.dme import bst_dme
 from repro.geometry import Point
 from repro.netlist.sink import Sink
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.tech.buffer_library import BufferLibrary, default_library
 from repro.tech.technology import Technology
 from repro.timing.elmore import ElmoreAnalyzer
@@ -59,16 +61,18 @@ def commercial_like_cts(
         # lightest one meeting the tightened skew target (falling back to
         # the best-skew candidate if none does); this thoroughness is
         # where the commercial runtime goes
-        candidates = [
-            bst_dme(net, tight_bound, model=model, topology=topology)
-            for topology in CANDIDATE_TOPOLOGIES
-        ]
-        for eps in (0.05, 0.15, 0.3):
-            candidates.append(cbs(net, tight_bound, eps=eps, model=model))
-        scored = []
-        for tree in candidates:
-            report = analyzer.analyze(tree)
-            scored.append((report.skew, tree.wirelength(), tree))
+        with TRACER.span("candidates", net=net.name):
+            candidates = [
+                bst_dme(net, tight_bound, model=model, topology=topology)
+                for topology in CANDIDATE_TOPOLOGIES
+            ]
+            for eps in (0.05, 0.15, 0.3):
+                candidates.append(cbs(net, tight_bound, eps=eps, model=model))
+            scored = []
+            for tree in candidates:
+                report = analyzer.analyze(tree)
+                scored.append((report.skew, tree.wirelength(), tree))
+        METRICS.inc("baseline.candidates_routed", len(candidates))
         feasible = [s for s in scored if s[0] <= tight_bound + 1e-9]
         if feasible:
             return min(feasible, key=lambda s: s[1])[2]

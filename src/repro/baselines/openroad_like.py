@@ -19,8 +19,6 @@ by far the most buffer area.
 
 from __future__ import annotations
 
-import time
-
 from repro.buffering.insertion import place_driver, split_long_edges, _subtree_cap
 from repro.cts.constraints import Constraints, TABLE5
 from repro.cts.framework import CTSResult, LevelStats, graft_subtrees
@@ -29,6 +27,8 @@ from repro.htree.htree import htree
 from repro.netlist.net import ClockNet
 from repro.netlist.sink import Sink
 from repro.netlist.tree import RoutedTree
+from repro.obs.clock import now
+from repro.obs.tracer import TRACER
 from repro.partition.kmeans import balanced_kmeans
 from repro.rsmt.flute_like import rsmt
 from repro.tech.buffer_library import BufferLibrary, default_library
@@ -53,52 +53,66 @@ def openroad_like_cts(
         raise ValueError("baseline CTS needs at least one sink")
     tech = tech or Technology()
     library = library or default_library()
-    start = time.perf_counter()
+    start = now()
 
-    # 1. leaf clustering under the fanout bound
-    points = [s.location for s in sinks]
-    centers, labels = balanced_kmeans(
-        points, max_size=constraints.max_fanout, seed=seed
-    )
-    groups: dict[int, list[Sink]] = {}
-    for sink, label in zip(sinks, labels):
-        groups.setdefault(label, []).append(sink)
+    with TRACER.span("flow", engine="openroad_like", sinks=len(sinks)):
+        # 1. leaf clustering under the fanout bound
+        with TRACER.span("partition", sinks=len(sinks)):
+            points = [s.location for s in sinks]
+            centers, labels = balanced_kmeans(
+                points, max_size=constraints.max_fanout, seed=seed
+            )
+            groups: dict[int, list[Sink]] = {}
+            for sink, label in zip(sinks, labels):
+                groups.setdefault(label, []).append(sink)
 
-    # 4. leaf nets: plain RSMT, driver buffer at the tap, no balancing
-    subtrees: dict[str, RoutedTree] = {}
-    taps: list[Sink] = []
-    for j, members in sorted(groups.items()):
-        if not members:
-            continue
-        tap = manhattan_center([s.location for s in members])
-        name = f"or_c{j}"
-        net = ClockNet(name, tap, members)
-        tree = rsmt(net)
-        split_long_edges(tree, library, tech, constraints.effective_span(tech))
-        driver = place_driver(tree, library, tech)
-        subtrees[name] = tree
-        taps.append(Sink(name, tap, cap=driver.input_cap))
+        # 4. leaf nets: plain RSMT, driver buffer at the tap, no balancing
+        subtrees: dict[str, RoutedTree] = {}
+        taps: list[Sink] = []
+        for j, members in sorted(groups.items()):
+            if not members:
+                continue
+            tap = manhattan_center([s.location for s in members])
+            name = f"or_c{j}"
+            with TRACER.span("cluster", net=name, sinks=len(members)):
+                net = ClockNet(name, tap, members)
+                with TRACER.span("route", net=name):
+                    tree = rsmt(net)
+                with TRACER.span("buffer", net=name):
+                    split_long_edges(tree, library, tech,
+                                     constraints.effective_span(tech))
+                    driver = place_driver(tree, library, tech)
+            subtrees[name] = tree
+            taps.append(Sink(name, tap, cap=driver.input_cap))
 
-    # 2. H-tree trunk over the taps
-    trunk_net = ClockNet("or_trunk", source, taps)
-    trunk = htree(trunk_net, max_leaf_sinks=1)
-    split_long_edges(trunk, library, tech, constraints.effective_span(tech))
+        # 2. H-tree trunk over the taps
+        with TRACER.span("cluster", net="or_trunk", sinks=len(taps)):
+            trunk_net = ClockNet("or_trunk", source, taps)
+            with TRACER.span("route", net="or_trunk"):
+                trunk = htree(trunk_net, max_leaf_sinks=1)
+            with TRACER.span("buffer", net="or_trunk"):
+                split_long_edges(trunk, library, tech,
+                                 constraints.effective_span(tech))
 
-    # 3. buffer trunk branch points whose accumulated load warrants a
-    #    stage, children before parents so each stage load is already cut
-    #    at the freshly inserted buffers below; the generous safety factor
-    #    yields the "fewer levels, larger buffers" TritonCTS signature
-    threshold = 0.5 * constraints.max_cap
-    for nid in trunk.postorder():
-        node = trunk.node(nid)
-        if node.is_sink or node.is_buffer:
-            continue
-        load = _subtree_cap(trunk, nid, tech)
-        if load > threshold or nid == trunk.root:
-            node.buffer = library.smallest_driving(load * DRIVE_SAFETY)
+                # 3. buffer trunk branch points whose accumulated load
+                #    warrants a stage, children before parents so each stage
+                #    load is already cut at the freshly inserted buffers
+                #    below; the generous safety factor yields the "fewer
+                #    levels, larger buffers" TritonCTS signature
+                threshold = 0.5 * constraints.max_cap
+                for nid in trunk.postorder():
+                    node = trunk.node(nid)
+                    if node.is_sink or node.is_buffer:
+                        continue
+                    load = _subtree_cap(trunk, nid, tech)
+                    if load > threshold or nid == trunk.root:
+                        node.buffer = library.smallest_driving(
+                            load * DRIVE_SAFETY
+                        )
 
-    full = graft_subtrees(trunk, subtrees)
-    full.validate()
+        with TRACER.span("assemble"):
+            full = graft_subtrees(trunk, subtrees)
+            full.validate()
     stats = LevelStats(
         level=0,
         num_sinks=len(sinks),
@@ -115,5 +129,5 @@ def openroad_like_cts(
     return CTSResult(
         tree=full,
         levels=[stats],
-        runtime_s=time.perf_counter() - start,
+        runtime_s=now() - start,
     )

@@ -18,6 +18,7 @@ import math
 
 from repro.geometry import Point
 from repro.netlist.tree import RoutedTree
+from repro.obs.metrics import METRICS
 from repro.tech.buffer_library import BufferLibrary, BufferType
 from repro.tech.technology import Technology
 from repro.buffering.estimation import driver_for_load
@@ -41,6 +42,8 @@ def place_driver(
     load = _subtree_cap(tree, tree.root, tech)
     driver = lib.smallest_driving(load * headroom)
     tree.set_buffer(tree.root, driver)
+    METRICS.inc("buffer.drivers")
+    METRICS.observe("buffer.driver_load_ff", load)
     return driver
 
 
@@ -101,6 +104,7 @@ def split_long_edges(
             tree.reparent(nid, current_parent)
     if inserted:
         tree.validate()
+        METRICS.inc("buffer.repeaters", inserted)
     return inserted
 
 

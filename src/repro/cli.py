@@ -13,9 +13,16 @@ Commands:
 * ``bench``   — run the fixed-seed performance trajectory (full flow at
   several sink counts, per-stage wall times from FlowDiagnostics) and
   write machine-readable ``BENCH_perf.json``;
+* ``trace``   — summarize a Chrome trace file written by ``--trace``;
 * ``designs`` — list the benchmark catalog;
 * ``gallery`` — render every topology algorithm on one net into SVGs
   (the Fig. 1 gallery).
+
+``flow`` and ``bench`` accept ``--trace out.json`` to record the run as
+hierarchical spans plus the metrics registry snapshot in Chrome
+trace-event JSON (open in Perfetto / ``chrome://tracing``, or summarize
+with ``repro trace``); ``-v`` / ``--log-level`` turn on the per-package
+structured logs (see docs/OBSERVABILITY.md).
 
 ``main`` catches expected failures (missing files, malformed input,
 unknown names) and exits with code 2 and a one-line message instead of a
@@ -37,6 +44,8 @@ from repro.dme import ElmoreDelay, bst_dme, zst_dme
 from repro.htree import fishbone, ghtree, htree
 from repro.io import format_diagnostics, format_table, read_net
 from repro.io.treefile import read_tree, write_tree
+from repro.obs import METRICS, TRACER, capture, write_trace
+from repro.obs.logcfg import configure_logging, verbosity_to_level
 from repro.rsmt import rsmt
 from repro.salt import salt
 from repro.tech import Technology, default_library
@@ -108,20 +117,28 @@ def cmd_route(args) -> int:
     return 0
 
 
+def _run_flow(args, tech, design):
+    if args.flow == "ours":
+        return HierarchicalCTS(tech=tech).run(design.sinks, design.source)
+    if args.flow == "commercial":
+        return commercial_like_cts(design.sinks, design.source, tech)
+    return openroad_like_cts(design.sinks, design.source, tech)
+
+
 def cmd_flow(args) -> int:
     tech = Technology()
     design = load_design(args.design, scale=args.scale)
     print(f"{args.design}: {len(design.sinks)} FFs, "
           f"die {design.die_side:.0f} um")
-    if args.flow == "ours":
-        result = HierarchicalCTS(tech=tech).run(design.sinks, design.source)
-        rep = evaluate_result(result, tech)
-    elif args.flow == "commercial":
-        result = commercial_like_cts(design.sinks, design.source, tech)
-        rep = evaluate_result(result, tech)
+    if args.trace:
+        METRICS.reset()
+        with capture(TRACER):
+            result = _run_flow(args, tech, design)
+        path = write_trace(args.trace)
+        print(f"trace written to {path}")
     else:
-        result = openroad_like_cts(design.sinks, design.source, tech)
-        rep = evaluate_result(result, tech)
+        result = _run_flow(args, tech, design)
+    rep = evaluate_result(result, tech)
     print(format_table(
         ["latency(ps)", "skew(ps)", "#buf", "area(um2)", "cap(fF)",
          "WL(um)", "runtime(s)"],
@@ -177,11 +194,28 @@ def cmd_check(args) -> int:
 def cmd_bench(args) -> int:
     from repro.perf import format_perf_table, run_perf, write_bench_json
 
-    payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
-                       sa_iterations=args.sa_iterations)
+    if args.trace:
+        with capture(TRACER):
+            payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
+                               sa_iterations=args.sa_iterations)
+        trace_path = write_trace(args.trace)
+    else:
+        payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
+                           sa_iterations=args.sa_iterations)
+        trace_path = None
     print(format_perf_table(payload))
     path = write_bench_json(payload, args.out)
     print(f"trajectory written to {path}")
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import load_trace, summarize_trace
+
+    payload = load_trace(args.tracefile)
+    print(summarize_trace(payload, max_depth=args.depth))
     return 0
 
 
@@ -236,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SLLT clock tree synthesis (DAC'24 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        help="explicit log level name (overrides -v): DEBUG, INFO, ...",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_route = sub.add_parser("route", help="route one clock net")
@@ -260,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit non-zero on any degradation or residual violation "
              "(default: degrade and report)",
+    )
+    p_flow.add_argument(
+        "--trace", metavar="PATH",
+        help="record the run as Chrome trace-event JSON (Perfetto)",
     )
     p_flow.set_defaults(func=cmd_flow)
 
@@ -291,7 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_perf.json",
         help="machine-readable output path (default: BENCH_perf.json)",
     )
+    p_bench.add_argument(
+        "--trace", metavar="PATH",
+        help="record the bench runs as Chrome trace-event JSON",
+    )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a trace file written by --trace"
+    )
+    p_trace.add_argument("tracefile")
+    p_trace.add_argument(
+        "--depth", type=int, default=6,
+        help="maximum span-tree depth to print (default: 6)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_designs = sub.add_parser("designs", help="list the benchmark catalog")
     p_designs.set_defaults(func=cmd_designs)
@@ -309,6 +369,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        configure_logging(
+            args.log_level if args.log_level
+            else verbosity_to_level(args.verbose)
+        )
         return args.func(args)
     except (ValueError, OSError, KeyError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args \

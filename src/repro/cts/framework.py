@@ -31,7 +31,6 @@ empty-input ``ValueError``; everything else degrades and reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -48,6 +47,10 @@ from repro.flowguard.fallback import (
 )
 from repro.geometry import Point, manhattan_center
 from repro.netlist.net import ClockNet
+from repro.obs.clock import now
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.netlist.sink import Sink
 from repro.netlist.tree import RoutedTree
 from repro.partition.annealing import SAConfig, anneal_partition, total_cost
@@ -56,6 +59,8 @@ from repro.partition.kmeans import balanced_kmeans
 from repro.tech.buffer_library import BufferLibrary, default_library
 from repro.tech.technology import Technology
 from repro.timing.elmore import ElmoreAnalyzer
+
+_LOG = get_logger("cts")
 
 
 @dataclass(slots=True)
@@ -130,7 +135,16 @@ class HierarchicalCTS:
     ) -> CTSResult:
         if not sinks:
             raise ValueError("hierarchical CTS needs at least one sink")
-        start = time.perf_counter()
+        with TRACER.span("flow", engine="hierarchical", sinks=len(sinks)):
+            return self._run_traced(sinks, source, diagnostics)
+
+    def _run_traced(
+        self,
+        sinks: list[Sink],
+        source: Point,
+        diagnostics: FlowDiagnostics | None,
+    ) -> CTSResult:
+        start = now()
         cons = self._constraints
         cfg = self._config
         diag = diagnostics if diagnostics is not None else FlowDiagnostics()
@@ -147,32 +161,9 @@ class HierarchicalCTS:
         level = 0
 
         while len(current) > cons.max_fanout:
-            with diag.timed("partition"):
-                clusters, sa_before, sa_after = self._partition(
-                    current, level, diag
-                )
-                if len(clusters) >= len(current):
-                    diag.record(
-                        "partition", "forced_split", level=level,
-                        detail=(f"{len(clusters)} clusters for "
-                                f"{len(current)} sinks does not reduce; "
-                                f"forced median split"),
-                    )
-                    clusters = forced_median_split(
-                        current, max(2, cons.max_fanout)
-                    )
-            next_sinks: list[Sink] = []
-            buffers_added = 0
-            for j, cluster in enumerate(clusters):
-                if not cluster.sinks:
-                    continue
-                name = f"L{level}_c{j}"
-                driver_sink, tree, nbuf = self._route_cluster(
-                    name, cluster, level, chain, diag
-                )
-                subtrees[name] = tree
-                next_sinks.append(driver_sink)
-                buffers_added += nbuf
+            with TRACER.span("level", level=level, sinks=len(current)):
+                clusters, sa_before, sa_after, next_sinks, buffers_added = \
+                    self._run_level(current, level, chain, diag, subtrees)
             levels.append(LevelStats(
                 level=level,
                 num_sinks=len(current),
@@ -189,17 +180,61 @@ class HierarchicalCTS:
                 ),
                 buffers_added=buffers_added,
             ))
+            _LOG.debug(
+                "level %d: %d sinks -> %d clusters, %d buffers",
+                level, len(current), len(next_sinks), buffers_added,
+            )
             current = next_sinks
             level += 1
 
-        top_tree = self._route_top(current, source, chain, diag)
+        with TRACER.span("level", level=-1, sinks=len(current)):
+            top_tree = self._route_top(current, source, chain, diag)
         full = self._assemble(top_tree, subtrees, sinks, diag)
         return CTSResult(
             tree=full,
             levels=levels,
-            runtime_s=time.perf_counter() - start,
+            runtime_s=now() - start,
             diagnostics=diag,
         )
+
+    def _run_level(
+        self,
+        current: list[Sink],
+        level: int,
+        chain: RouterFallbackChain,
+        diag: FlowDiagnostics,
+        subtrees: dict[str, RoutedTree],
+    ) -> tuple[list[Cluster], float, float, list[Sink], int]:
+        """One bottom-up level: partition, then route/buffer each cluster."""
+        cons = self._constraints
+        with diag.timed("partition", level=level):
+            clusters, sa_before, sa_after = self._partition(
+                current, level, diag
+            )
+            if len(clusters) >= len(current):
+                diag.record(
+                    "partition", "forced_split", level=level,
+                    detail=(f"{len(clusters)} clusters for "
+                            f"{len(current)} sinks does not reduce; "
+                            f"forced median split"),
+                )
+                clusters = forced_median_split(
+                    current, max(2, cons.max_fanout)
+                )
+        next_sinks: list[Sink] = []
+        buffers_added = 0
+        for j, cluster in enumerate(clusters):
+            if not cluster.sinks:
+                continue
+            name = f"L{level}_c{j}"
+            with TRACER.span("cluster", net=name, sinks=cluster.size):
+                driver_sink, tree, nbuf = self._route_cluster(
+                    name, cluster, level, chain, diag
+                )
+            subtrees[name] = tree
+            next_sinks.append(driver_sink)
+            buffers_added += nbuf
+        return clusters, sa_before, sa_after, next_sinks, buffers_added
 
     # ------------------------------------------------------------------
     # Stage 1: partition
@@ -285,10 +320,11 @@ class HierarchicalCTS:
         cfg = self._config
         tap = manhattan_center([s.location for s in cluster.sinks])
         net = ClockNet(name, tap, cluster.sinks)
-        with diag.timed("route"):
+        with diag.timed("route", level=level, net=name):
             tree = chain.route(net, ElmoreDelay(self._tech), level=level)
+        METRICS.observe("cts.cluster_wl_um", tree.wirelength())
         nbuf = self._buffer_tree(tree, level, name, diag)
-        with diag.timed("check"):
+        with diag.timed("check", level=level, net=name):
             check_and_repair(
                 tree, self._constraints, self._tech, self._lib,
                 budget=cfg.repair_budget, diagnostics=diag,
@@ -310,7 +346,7 @@ class HierarchicalCTS:
         """Repeater chains + root driver, each guarded with a fallback."""
         cons = self._constraints
         cfg = self._config
-        with diag.timed("buffer"):
+        with diag.timed("buffer", level=level, net=name):
             try:
                 nbuf = split_long_edges(
                     tree, self._lib, self._tech,
@@ -342,8 +378,13 @@ class HierarchicalCTS:
         aborting the run."""
         cfg = self._config
         try:
-            with diag.timed("analyze"):
+            with diag.timed("analyze", level=level, net=name):
                 report = self._analyzer.analyze(tree)
+                arrivals = report.sink_arrival.values()
+                if arrivals:
+                    METRICS.observe(
+                        "cts.cluster_skew_ps", max(arrivals) - min(arrivals)
+                    )
                 if not cfg.use_insertion_estimate:
                     return report.latency
                 # Eq. (7): provisional delay charged before upstream
@@ -381,10 +422,10 @@ class HierarchicalCTS:
         diag: FlowDiagnostics,
     ) -> RoutedTree:
         net = ClockNet("top", source, sinks)
-        with diag.timed("route"):
+        with diag.timed("route", level=-1, net="top"):
             tree = chain.route(net, ElmoreDelay(self._tech), level=-1)
         self._buffer_tree(tree, -1, "top", diag)
-        with diag.timed("check"):
+        with diag.timed("check", level=-1, net="top"):
             check_and_repair(
                 tree, self._constraints, self._tech, self._lib,
                 budget=self._config.repair_budget, diagnostics=diag,

@@ -21,6 +21,8 @@ from repro.netlist.tree import RoutedTree
 from repro.dme.merging import MergeSpec, merge_specs
 from repro.dme.models import DelayModel, LinearDelay
 from repro.dme.topology import TOPOLOGY_GENERATORS
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 
 
 def bst_dme(
@@ -69,23 +71,31 @@ def build_merge_tree(
     """Run the bottom-up merging pass; returns the root MergeSpec."""
     # iterative postorder to survive deep topologies
     spec_of: dict[int, MergeSpec] = {}
-    stack: list[tuple[TopologyNode, bool]] = [(topo, False)]
-    while stack:
-        node, expanded = stack.pop()
-        if node.is_leaf:
-            spec_of[id(node)] = _leaf_spec(node.sink)  # type: ignore[arg-type]
-            continue
-        if not expanded:
-            stack.append((node, True))
-            stack.append((node.left, False))   # type: ignore[arg-type]
-            stack.append((node.right, False))  # type: ignore[arg-type]
-            continue
-        spec_of[id(node)] = merge_specs(
-            spec_of[id(node.left)],
-            spec_of[id(node.right)],
-            model,
-            skew_bound,
-        )
+    n_merges = 0
+    with TRACER.span("merge_tree", skew_bound=skew_bound):
+        stack: list[tuple[TopologyNode, bool]] = [(topo, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_leaf:
+                spec_of[id(node)] = _leaf_spec(node.sink)  # type: ignore[arg-type]
+                continue
+            if not expanded:
+                stack.append((node, True))
+                stack.append((node.left, False))   # type: ignore[arg-type]
+                stack.append((node.right, False))  # type: ignore[arg-type]
+                continue
+            spec = merge_specs(
+                spec_of[id(node.left)],
+                spec_of[id(node.right)],
+                model,
+                skew_bound,
+            )
+            spec_of[id(node)] = spec
+            n_merges += 1
+            METRICS.observe(
+                "dme.merge_region_area", spec.region.width * spec.region.height
+            )
+    METRICS.inc("dme.merges", n_merges)
     return spec_of[id(topo)]
 
 

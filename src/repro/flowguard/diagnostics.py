@@ -13,9 +13,15 @@ fix-and-recheck operation, not degradation).
 
 from __future__ import annotations
 
-import time
+import logging
 from contextlib import contextmanager
 from dataclasses import dataclass
+
+from repro.obs.clock import now
+from repro.obs.logcfg import get_logger
+from repro.obs.tracer import TRACER
+
+_LOG = get_logger("flowguard")
 
 #: Event kinds a guarded flow may record.
 EVENT_KINDS = (
@@ -79,19 +85,45 @@ class FlowDiagnostics:
         event = FlowEvent(stage=stage, kind=kind, level=level, net=net,
                           detail=detail)
         self.events.append(event)
+        _LOG.log(
+            logging.WARNING if kind in DEGRADED_KINDS else logging.INFO,
+            "%s", event.describe(),
+        )
         return event
 
     def add_time(self, stage: str, seconds: float) -> None:
         self.stage_time_s[stage] = self.stage_time_s.get(stage, 0.0) + seconds
 
     @contextmanager
-    def timed(self, stage: str):
-        """Context manager accumulating wall time under ``stage``."""
-        start = time.perf_counter()
+    def timed(self, stage: str, **attrs):
+        """Accumulate wall time under ``stage`` and open a trace span.
+
+        Stage times and span durations are the *same measurement*: when
+        tracing is enabled the duration recorded by the span (read from
+        the single obs clock) is exactly what lands in
+        ``stage_time_s``, so the two can never disagree.
+        """
+        cm = TRACER.span(stage, **attrs)
+        span = cm.__enter__()
+        start = now() if span is None else 0.0
         try:
             yield self
         finally:
-            self.add_time(stage, time.perf_counter() - start)
+            cm.__exit__(None, None, None)
+            self.add_time(
+                stage,
+                span.duration if span is not None else now() - start,
+            )
+
+    def event_breakdown(self) -> dict[str, int]:
+        """Per-kind event counts plus a total — the structured form of
+        the old opaque ``flow_events: N`` bench field."""
+        breakdown: dict[str, int] = {"total": len(self.events)}
+        for kind in EVENT_KINDS:
+            n = self.count(kind)
+            if n:
+                breakdown[kind] = n
+        return breakdown
 
     # ------------------------------------------------------------------
     # Queries

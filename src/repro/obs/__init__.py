@@ -1,0 +1,49 @@
+"""repro.obs — observability for the CTS flow.
+
+Four small, dependency-free pieces that every stage package shares:
+
+* :mod:`repro.obs.clock` — the single wall clock (``now``);
+* :mod:`repro.obs.tracer` — hierarchical span tracing
+  (``with TRACER.span("route", net=name): ...``), off by default with a
+  near-zero disabled path;
+* :mod:`repro.obs.metrics` — the registry of named counters / gauges /
+  histograms (``METRICS``);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and human-readable summaries;
+* :mod:`repro.obs.logcfg` — per-package named loggers and the CLI's
+  logging setup.
+
+See docs/OBSERVABILITY.md for span naming conventions and the metric
+catalog.
+"""
+
+from repro.obs.clock import now
+from repro.obs.export import (
+    load_trace,
+    summarize_trace,
+    to_chrome_trace,
+    trace_depth,
+    tree_summary,
+    write_trace,
+)
+from repro.obs.logcfg import configure_logging, get_logger
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import TRACER, Span, Tracer, capture
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "capture",
+    "configure_logging",
+    "get_logger",
+    "load_trace",
+    "now",
+    "summarize_trace",
+    "to_chrome_trace",
+    "trace_depth",
+    "tree_summary",
+    "write_trace",
+]

@@ -1,0 +1,18 @@
+"""The single flow clock.
+
+Every wall-time measurement in the code base — span durations, the
+per-stage accumulation in :class:`repro.flowguard.diagnostics.
+FlowDiagnostics`, ``CTSResult.runtime_s`` and the bench harness's wall
+times — reads this one function, so no two reported times can come from
+different clocks and disagree about what "now" means.  It is the
+monotonic high-resolution counter; the indirection exists so tests (and
+future backends) can substitute a deterministic clock in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic seconds; the only clock the flow is allowed to read.
+now = time.perf_counter

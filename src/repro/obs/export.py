@@ -1,0 +1,206 @@
+"""Trace exporters: Chrome trace-event JSON and a human-readable tree.
+
+``to_chrome_trace`` turns a :class:`~repro.obs.tracer.Tracer`'s span
+forest into the Trace Event Format that Perfetto and ``chrome://tracing``
+load directly (JSON object form, complete ``"ph": "X"`` events with
+microsecond timestamps).  The metrics registry snapshot rides along
+under a top-level ``"metrics"`` key — viewers ignore it, ``repro trace``
+and the tests read it.
+
+``summarize_trace`` is the reverse direction for humans: it rebuilds the
+span nesting from a trace payload (by timestamp containment, per
+thread) and renders an aggregated tree — same-named siblings merged,
+with call counts, total time and share of the parent — the view you
+want before opening the full trace in a viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import TRACER, Span, Tracer
+
+#: Bumped when the trace payload layout changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def to_chrome_trace(
+    tracer: Tracer = TRACER,
+    metrics: MetricsRegistry | None = METRICS,
+) -> dict:
+    """Chrome trace-event payload for a tracer's collected spans."""
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 1, "tid": 0, "ts": 0,
+        "args": {"name": "repro CTS flow"},
+    }]
+    roots = list(tracer.roots)
+    base = min((r.start for r in roots), default=0.0)
+    tids: dict[int, int] = {}
+    for root in roots:
+        for span in root.walk():
+            tid = tids.setdefault(span.tid, len(tids))
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "args": span.attrs,
+            })
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "metrics": metrics.as_dict() if metrics is not None else {},
+    }
+
+
+def write_trace(
+    path: str | Path,
+    tracer: Tracer = TRACER,
+    metrics: MetricsRegistry | None = METRICS,
+) -> Path:
+    """Serialise the trace payload to ``path``; returns the path."""
+    path = Path(path)
+    payload = to_chrome_trace(tracer, metrics)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Load + reconstruct
+# ----------------------------------------------------------------------
+def load_trace(path: str | Path) -> dict:
+    """Read and structurally validate a trace file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"{path}: cannot read trace file ({exc})") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a Chrome trace payload "
+                         f"(missing 'traceEvents')")
+    return payload
+
+
+def spans_from_trace(payload: dict) -> list[Span]:
+    """Rebuild the span forest of a trace payload.
+
+    Complete (``"ph": "X"``) events are grouped per thread and re-nested
+    by timestamp containment — the inverse of :func:`to_chrome_trace` up
+    to the microsecond rounding the format imposes.
+    """
+    by_tid: dict[int, list[dict]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        by_tid.setdefault(event.get("tid", 0), []).append(event)
+
+    roots: list[Span] = []
+    for tid in sorted(by_tid):
+        events = sorted(
+            by_tid[tid],
+            key=lambda e: (e["ts"], -e.get("dur", 0.0)),
+        )
+        stack: list[tuple[Span, float]] = []  # (span, end ts in us)
+        for event in events:
+            span = Span(event.get("name", "?"), dict(event.get("args", {})),
+                        tid)
+            span.start = event["ts"] / 1e6
+            span.end = (event["ts"] + event.get("dur", 0.0)) / 1e6
+            ts, end = event["ts"], event["ts"] + event.get("dur", 0.0)
+            # pop regions this event does not fall inside (1us slack for
+            # the format's rounding)
+            while stack and ts >= stack[-1][1] - 1e-3:
+                stack.pop()
+            if stack:
+                stack[-1][0].children.append(span)
+            else:
+                roots.append(span)
+            stack.append((span, end))
+    return roots
+
+
+def trace_depth(payload: dict) -> int:
+    """Maximum span nesting depth of a trace payload."""
+    return max((r.max_depth() for r in spans_from_trace(payload)), default=0)
+
+
+# ----------------------------------------------------------------------
+# Human-readable summaries
+# ----------------------------------------------------------------------
+def tree_summary(roots: list[Span], max_depth: int = 6) -> str:
+    """Aggregated span tree: same-named siblings merged.
+
+    Each line shows the span name, how many spans merged into it, their
+    total wall time, and that total as a share of the parent line.
+    """
+    lines = [f"{'span':<40} {'count':>6} {'total(ms)':>10} {'parent%':>8}"]
+
+    def _emit(spans: list[Span], indent: int, parent_total: float) -> None:
+        groups: dict[str, list[Span]] = {}
+        for span in spans:
+            groups.setdefault(span.name, []).append(span)
+        ordered = sorted(
+            groups.items(),
+            key=lambda kv: -sum(s.duration for s in kv[1]),
+        )
+        for name, members in ordered:
+            total = sum(s.duration for s in members)
+            share = (100.0 * total / parent_total) if parent_total > 0 \
+                else 100.0
+            label = "  " * indent + name
+            lines.append(
+                f"{label:<40} {len(members):>6} {total * 1e3:>10.3f} "
+                f"{share:>7.1f}%"
+            )
+            if indent + 1 < max_depth:
+                children = [c for s in members for c in s.children]
+                if children:
+                    _emit(children, indent + 1, total)
+
+    _emit(roots, 0, sum(r.duration for r in roots))
+    return "\n".join(lines)
+
+
+def metrics_summary(metrics: dict) -> str:
+    """Flat rendering of a metrics snapshot (see ``MetricsRegistry``)."""
+    lines: list[str] = []
+    for name, value in metrics.get("counters", {}).items():
+        lines.append(f"{name:<40} {value}")
+    for name, value in metrics.get("gauges", {}).items():
+        lines.append(f"{name:<40} {value}")
+    for name, h in metrics.get("histograms", {}).items():
+        lines.append(
+            f"{name:<40} n={h['count']} total={h['total']} "
+            f"mean={h['mean']} min={h['min']} max={h['max']}"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def summarize_trace(payload: dict, max_depth: int = 6) -> str:
+    """The ``repro trace`` view: span tree + metrics, one string."""
+    roots = spans_from_trace(payload)
+    n_events = sum(1 for e in payload.get("traceEvents", [])
+                   if e.get("ph") == "X")
+    parts = [
+        f"trace: {n_events} spans, depth {trace_depth(payload)}, "
+        f"{len(roots)} root(s)",
+        tree_summary(roots, max_depth=max_depth),
+    ]
+    metrics = payload.get("metrics") or {}
+    if any(metrics.get(k) for k in ("counters", "gauges", "histograms")):
+        parts.append("")
+        parts.append("metrics:")
+        parts.append(metrics_summary(metrics))
+    return "\n".join(parts)

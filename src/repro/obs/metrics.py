@@ -1,0 +1,116 @@
+"""Named counters, gauges and histograms for the CTS flow.
+
+The registry answers "how much work did the flow actually do" at a
+granularity stage timings cannot: grid-index probes vs. prunes,
+dirty-region skips, SALT reattachment gains, DME merge-region areas,
+min-cost-flow assignment costs, per-cluster skew/wirelength
+contributions.  Instrumented code updates the module singleton
+:data:`METRICS`; harnesses snapshot it per run (``repro bench`` puts the
+snapshot in every ``BENCH_perf.json`` record, ``--trace`` embeds it in
+the trace file).
+
+The registry is always on — instrumentation sites update it at *flush*
+granularity (once per pass / per net / per query batch), never from an
+inner loop, so the nominal-flow cost is far below measurement noise.
+Hot loops accumulate plain local integers and flush once (see
+``repro.salt.refine``).  All operations are lock-guarded and therefore
+safe under concurrent flows; the counts then aggregate across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and min/max histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._hists: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of ``name`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name``."""
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                h[0] += 1
+                h[1] += value
+                if value < h[2]:
+                    h[2] = value
+                if value > h[3]:
+                    h[3] = value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> dict | None:
+        h = self._hists.get(name)
+        if h is None:
+            return None
+        count, total, lo, hi = h
+        return {"count": int(count), "total": total, "min": lo, "max": hi,
+                "mean": total / count}
+
+    def as_dict(self, precision: int | None = 4) -> dict:
+        """Structured snapshot; ``precision`` rounds floats for JSON."""
+
+        def _r(x: float):
+            if precision is None:
+                return x
+            if isinstance(x, float):
+                return round(x, precision)
+            return x
+
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = {k: list(v) for k, v in self._hists.items()}
+        return {
+            "counters": {k: _r(v) for k, v in sorted(counters.items())},
+            "gauges": {k: _r(v) for k, v in sorted(gauges.items())},
+            "histograms": {
+                k: {
+                    "count": int(c),
+                    "total": _r(t),
+                    "min": _r(lo),
+                    "max": _r(hi),
+                    "mean": _r(t / c),
+                }
+                for k, (c, t, lo, hi) in sorted(hists.items())
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+#: The registry the instrumented packages import.
+METRICS = MetricsRegistry()

@@ -1,0 +1,210 @@
+"""Hierarchical span tracing for the CTS flow.
+
+A *span* is a named, attributed, timed region of the run; spans nest, so
+a traced flow yields a tree::
+
+    flow
+    ├── level (level=0)
+    │   ├── partition
+    │   └── cluster (net=L0_c0)
+    │       ├── route
+    │       │   └── refine
+    │       │       └── pass (n=0)
+    │       ├── buffer
+    │       ├── check
+    │       └── analyze
+    └── ...
+
+Tracing is **off by default** and the disabled path is engineered to be
+near-free (the same pattern as ``repro.salt.refine.VALIDATE_REFINED``):
+:meth:`Tracer.span` on a disabled tracer returns one shared no-op
+context manager — no allocation, no clock read, no locking — so
+instrumentation can stay in hot-ish code unconditionally.  The module
+singleton :data:`TRACER` is what the instrumented packages import;
+harnesses turn it on with :func:`capture` (or ``repro flow --trace``).
+
+Thread safety: each thread keeps its own span stack (``threading.
+local``), so concurrent flows interleave without corrupting nesting;
+only the root-span list is shared and it is lock-guarded.  Durations
+come from :mod:`repro.obs.clock`, the flow's single clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.obs.clock import now
+
+
+class Span:
+    """One timed region; ``duration`` is valid once the span has closed."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "tid")
+
+    def __init__(self, name: str, attrs: dict, tid: int):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list["Span"] = []
+        self.tid = tid
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def walk(self):
+        """Yield this span and every descendant, preorder."""
+        stack = [self]
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def shape(self) -> tuple:
+        """Timing-free structural signature (name, attrs, child shapes).
+
+        Two runs of a deterministic flow must produce equal shapes —
+        the property the determinism regression test pins.
+        """
+        return (
+            self.name,
+            tuple(sorted(self.attrs.items())),
+            tuple(c.shape() for c in self.children),
+        )
+
+    def max_depth(self) -> int:
+        depth = 1
+        stack = [(self, 1)]
+        while stack:
+            span, d = stack.pop()
+            depth = max(depth, d)
+            stack.extend((c, d + 1) for c in span.children)
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, {self.attrs}, "
+                f"{self.duration * 1e3:.3f}ms, "
+                f"{len(self.children)} children)")
+
+
+class _NullSpan:
+    """The shared do-nothing context manager of a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one :class:`Span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self._span = Span(name, attrs, threading.get_ident())
+
+    def __enter__(self) -> Span:
+        span = self._span
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with tracer._lock:
+                tracer.roots.append(span)
+        stack.append(span)
+        span.start = now()
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        span = self._span
+        span.end = now()
+        stack = self._tracer._stack()
+        # tolerate a foreign/corrupt stack rather than raise in a finally
+        if stack and stack[-1] is span:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans; disabled by default."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span; use as ``with tracer.span("route", net=n):``.
+
+        On a disabled tracer this returns the shared no-op context
+        manager and touches nothing else.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def current(self) -> Span | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop collected spans (and the calling thread's open stack)."""
+        with self._lock:
+            self.roots = []
+        self._local.stack = []
+
+    # ------------------------------------------------------------------
+    def spans_named(self, name: str) -> list[Span]:
+        """Every collected span called ``name``, in preorder."""
+        return [s for root in self.roots for s in root.walk()
+                if s.name == name]
+
+    def max_depth(self) -> int:
+        return max((r.max_depth() for r in self.roots), default=0)
+
+
+#: The tracer the instrumented packages import.  Off by default.
+TRACER = Tracer()
+
+
+@contextmanager
+def capture(tracer: Tracer = TRACER):
+    """Enable ``tracer`` fresh for one block; restore its state after.
+
+    The CLI and the tests use this so a traced run never leaks spans or
+    an enabled flag into the next run in the same process.
+    """
+    previous = tracer.enabled
+    tracer.reset()
+    tracer.enable()
+    try:
+        yield tracer
+    finally:
+        tracer.enabled = previous

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 from repro.geometry import Point, manhattan
 from repro.geometry.hull import points_on_hull
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.partition.clustering import Cluster, cluster_cap
 
 
@@ -74,27 +76,36 @@ def anneal_partition(
     best_cost = current
     trace = [current]
     temp = cfg.initial_temp
+    proposed = accepted = 0
 
-    for _ in range(cfg.iterations):
-        move = _propose_move(state, costs, cfg, rng)
-        if move is None:
+    with TRACER.span("sa", iterations=cfg.iterations,
+                     clusters=len(clusters)):
+        for _ in range(cfg.iterations):
+            move = _propose_move(state, costs, cfg, rng)
+            if move is None:
+                trace.append(current)
+                temp *= cfg.cooling
+                continue
+            proposed += 1
+            src, dst, sink_idx = move
+            delta = _move_delta(state, costs, cfg, src, dst, sink_idx)
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-9)):
+                # the applied delta differs slightly from the estimate because
+                # the move also re-centers both nets; track the exact value
+                accepted += 1
+                before = costs[src] + costs[dst]
+                _apply_move(state, costs, cfg, src, dst, sink_idx)
+                current += (costs[src] + costs[dst]) - before
+                if current < best_cost:
+                    best_cost = current
+                    best_state = [Cluster(list(c.sinks), c.center)
+                                  for c in state]
             trace.append(current)
             temp *= cfg.cooling
-            continue
-        src, dst, sink_idx = move
-        delta = _move_delta(state, costs, cfg, src, dst, sink_idx)
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-9)):
-            # the applied delta differs slightly from the estimate because
-            # the move also re-centers both nets; track the exact value
-            before = costs[src] + costs[dst]
-            _apply_move(state, costs, cfg, src, dst, sink_idx)
-            current += (costs[src] + costs[dst]) - before
-            if current < best_cost:
-                best_cost = current
-                best_state = [Cluster(list(c.sinks), c.center) for c in state]
-        trace.append(current)
-        temp *= cfg.cooling
 
+    METRICS.inc("partition.sa_moves_proposed", proposed)
+    METRICS.inc("partition.sa_moves_accepted", accepted)
+    METRICS.observe("partition.sa_cost_drop", trace[0] - min(trace))
     return best_state, trace
 
 

@@ -20,6 +20,10 @@ import heapq
 import numpy as np
 
 from repro.geometry import Point
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+
+_LOG = get_logger("partition")
 
 # Imported at module scope so the (expensive) scipy load is paid at
 # startup, not inside the first HierarchicalCTS.run; gated so the
@@ -180,12 +184,17 @@ def balanced_assign(
     while n * cand <= exact_limit:
         assignment = _assign_mcf(dists, capacity, cand)
         if assignment is not None:
+            METRICS.inc("partition.assign_mcf")
             return assignment
+        METRICS.inc("partition.assign_mcf_widened")
         if cand == k:
             raise AssertionError("full candidate set must be feasible")
         cand = min(k, cand * 2)
     if n * k * capacity <= lsa_limit:
         return _assign_lsa(dists, capacity)
+    _LOG.debug("balanced_assign: %d x %d beyond LSA limit; regret-greedy",
+               n, k)
+    METRICS.inc("partition.assign_regret_greedy")
     return _regret_greedy(dists, capacity)
 
 
@@ -193,12 +202,18 @@ def _assign_lsa(dists: np.ndarray, capacity: int) -> list[int]:
     """Exact capacitated assignment via rectangular LSA on duplicated
     center columns."""
     if linear_sum_assignment is None:
+        _LOG.warning("scipy unavailable; LSA tier degraded to regret-greedy")
+        METRICS.inc("partition.assign_regret_greedy")
         return _regret_greedy(dists, capacity)
+    METRICS.inc("partition.assign_lsa")
     expanded = np.repeat(dists, capacity, axis=1)
     rows, cols = linear_sum_assignment(expanded)
     assignment = [-1] * dists.shape[0]
+    total = 0.0
     for r, c in zip(rows, cols):
         assignment[int(r)] = int(c) // capacity
+        total += float(expanded[r, c])
+    METRICS.observe("partition.assign_cost_um", total)
     assert all(a >= 0 for a in assignment)
     return assignment
 
@@ -222,9 +237,10 @@ def _assign_mcf(
         edges.append((n + j, sink, float(capacity), 0.0))
         arc_meta.append((-1, -1))
     try:
-        _, flows = min_cost_flow(n + k + 2, edges, source, sink, float(n))
+        cost, flows = min_cost_flow(n + k + 2, edges, source, sink, float(n))
     except ValueError:
         return None  # candidate restriction infeasible; caller widens
+    METRICS.observe("partition.assign_cost_um", cost)
     assignment = [-1] * n
     for (i, j), f in zip(arc_meta, flows):
         if i >= 0 and f > 0.5:

@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 import platform
 import random
-import time
 from pathlib import Path
 
 from repro.cts import FlowConfig, HierarchicalCTS
@@ -27,13 +26,20 @@ from repro.cts.evaluation import evaluate_result
 from repro.geometry import Point
 from repro.io import format_table
 from repro.netlist import Sink
+from repro.obs.clock import now
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
 from repro.tech import Technology
+
+_LOG = get_logger("perf")
 
 #: Sizes of the standard trajectory (matches benchmarks/bench_scaling.py).
 DEFAULT_SIZES = (200, 500, 1000, 2000)
 
 #: Bumped whenever the JSON layout changes.
-SCHEMA_VERSION = 1
+#: v2: ``flow_events`` became the per-kind breakdown dict and every
+#: record gained a ``metrics`` sub-dict (the obs registry snapshot).
+SCHEMA_VERSION = 2
 
 
 def make_uniform_sinks(
@@ -68,9 +74,10 @@ def run_perf(
         engine = HierarchicalCTS(
             tech=tech, config=FlowConfig(sa_iterations=sa_iterations)
         )
-        t0 = time.perf_counter()
+        METRICS.reset()  # per-record snapshot: this run's work only
+        t0 = now()
         result = engine.run(sinks, source)
-        wall_s = time.perf_counter() - t0
+        wall_s = now() - t0
         report = evaluate_result(result, tech)
         diag = result.diagnostics
         records.append({
@@ -84,8 +91,12 @@ def run_perf(
             "latency_ps": report.latency_ps,
             "skew_ps": report.skew_ps,
             "num_buffers": report.num_buffers,
-            "flow_events": len(diag.events) if diag is not None else 0,
+            "flow_events": diag.event_breakdown() if diag is not None
+            else {"total": 0},
+            "metrics": METRICS.as_dict(),
         })
+        _LOG.info("perf: %d sinks in %.3fs (%d flow events)",
+                  n, wall_s, records[-1]["flow_events"]["total"])
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "perf",

@@ -42,6 +42,11 @@ class EdgeGridIndex:
         self._epoch: dict[int, int] = {}
         self._cells: dict[tuple[int, int], list[tuple[int, int]]] = {}
         self._oversize: list[tuple[int, int]] = []
+        # work counters, updated O(1) per query (never in the scan loops);
+        # the refinement pass flushes them into repro.obs.METRICS
+        self.n_queries = 0
+        self.n_probed = 0   # distinct edges whose bbox bound was evaluated
+        self.n_kept = 0     # of those, survivors returned to the caller
 
         xs: list[float] = []
         ys: list[float] = []
@@ -115,6 +120,7 @@ class EdgeGridIndex:
         no closer edge can exist.  The sorted order lets the caller
         replicate the brute-force scan's first-best tie-breaking.
         """
+        self.n_queries += 1
         if radius <= 0.0:
             return []
         c = self.cell
@@ -149,6 +155,8 @@ class EdgeGridIndex:
             dy = y1 - vy if y1 > vy else (vy - y2 if vy > y2 else 0.0)
             if dx + dy < radius:
                 out.append(cid)
+        self.n_probed += len(seen)
+        self.n_kept += len(out)
         out.sort()
         return out
 

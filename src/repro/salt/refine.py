@@ -36,8 +36,13 @@ import os
 from repro.geometry import Point, manhattan
 from repro.netlist.tree import RoutedTree
 from repro.netlist.tree_ops import prune_redundant_steiner
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.rsmt.steinerize import median_steinerize
 from repro.salt.grid_index import EdgeGridIndex
+
+_LOG = get_logger("salt")
 
 #: Debug switch: re-validate tree invariants after every ``refine`` call.
 #: Off in the nominal flow (33+ O(n) walks per full-chip run); the test
@@ -81,19 +86,24 @@ def refine(
     """
     before = tree.wirelength()
     state = _RefineState()
-    for _ in range(max_passes):
-        changes: list[tuple[float, float, float, float]] = []
-        gained = median_steinerize(tree, changes=changes)
-        state.events.extend(changes)
-        gained += edge_reattach_pass(tree, state=state)
-        if gained <= 1e-9:
-            break
-    prune_redundant_steiner(tree)
+    with TRACER.span("refine", nodes=len(tree)):
+        for i in range(max_passes):
+            with TRACER.span("pass", n=i):
+                changes: list[tuple[float, float, float, float]] = []
+                gained = median_steinerize(tree, changes=changes)
+                state.events.extend(changes)
+                gained += edge_reattach_pass(tree, state=state)
+            if gained <= 1e-9:
+                break
+        prune_redundant_steiner(tree)
     if validate if validate is not None else VALIDATE_REFINED:
         tree.validate()
     else:
         _spot_check(tree)
-    return before - tree.wirelength()
+    saved = before - tree.wirelength()
+    METRICS.observe("salt.refine_gain_um", saved)
+    _LOG.debug("refine: %.3f um saved over %d nodes", saved, len(tree))
+    return saved
 
 
 def _spot_check(tree: RoutedTree) -> None:
@@ -155,6 +165,8 @@ def _edge_reattach_indexed(
     if state is None:
         state = _RefineState()
     total_gain = 0.0
+    n_skips = 0
+    n_moves = 0
     pl = tree.path_lengths()
     index = EdgeGridIndex(tree)
     events = state.events
@@ -176,6 +188,7 @@ def _edge_reattach_indexed(
             n_events = len(events)
             if s is not None:
                 if s == n_events:
+                    n_skips += 1
                     continue
                 # dirty iff some changed region since the last evaluation
                 # intrudes into v's attachment radius
@@ -190,6 +203,7 @@ def _edge_reattach_indexed(
                         break
                 else:
                     stamp[vid] = n_events
+                    n_skips += 1
                     continue
             move = _best_attachment_indexed(tree, pl, vid, tol, index)
             stamp[vid] = len(events)
@@ -218,7 +232,17 @@ def _edge_reattach_indexed(
                 events.append(bbox[nid])
                 stack.extend(tree.node(nid).children)
             total_gain += gain
+            n_moves += 1
             improved = True
+    # flush the locally-accumulated work counters in one registry visit
+    # per call — the inner loops above never touch shared state
+    METRICS.inc("salt.dirty_skips", n_skips)
+    METRICS.inc("salt.reattach_moves", n_moves)
+    METRICS.inc("salt.grid.queries", index.n_queries)
+    METRICS.inc("salt.grid.probed", index.n_probed)
+    METRICS.inc("salt.grid.pruned", index.n_probed - index.n_kept)
+    if total_gain > 0.0:
+        METRICS.observe("salt.reattach_gain_um", total_gain)
     return total_gain
 
 

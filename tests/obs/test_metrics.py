@@ -1,0 +1,78 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counters_accumulate():
+    m = MetricsRegistry()
+    assert m.counter("x") == 0
+    m.inc("x")
+    m.inc("x", 4)
+    assert m.counter("x") == 5
+
+
+def test_gauges_last_write_wins():
+    m = MetricsRegistry()
+    assert m.gauge("g") is None
+    m.set_gauge("g", 1.5)
+    m.set_gauge("g", -2.0)
+    assert m.gauge("g") == -2.0
+
+
+def test_histograms_track_count_total_min_max_mean():
+    m = MetricsRegistry()
+    assert m.histogram("h") is None
+    for v in (3.0, 1.0, 2.0):
+        m.observe("h", v)
+    h = m.histogram("h")
+    assert h["count"] == 3
+    assert h["total"] == pytest.approx(6.0)
+    assert h["min"] == 1.0
+    assert h["max"] == 3.0
+    assert h["mean"] == pytest.approx(2.0)
+
+
+def test_as_dict_is_sorted_and_rounded():
+    m = MetricsRegistry()
+    m.inc("b.count", 2)
+    m.inc("a.count")
+    m.set_gauge("g", 1.23456789)
+    m.observe("h", 0.123456789)
+    snap = m.as_dict(precision=4)
+    assert list(snap["counters"]) == ["a.count", "b.count"]
+    assert snap["gauges"]["g"] == 1.2346
+    assert snap["histograms"]["h"]["total"] == 0.1235
+    # precision=None keeps exact floats
+    exact = m.as_dict(precision=None)
+    assert exact["gauges"]["g"] == 1.23456789
+
+
+def test_reset_clears_everything():
+    m = MetricsRegistry()
+    m.inc("c")
+    m.set_gauge("g", 1)
+    m.observe("h", 1)
+    m.reset()
+    snap = m.as_dict()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    m = MetricsRegistry()
+
+    def worker():
+        for _ in range(1000):
+            m.inc("shared")
+            m.observe("obs", 1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert m.counter("shared") == 4000
+    assert m.histogram("obs")["count"] == 4000

@@ -1,0 +1,125 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import threading
+import time
+
+from repro.obs.tracer import _NULL_SPAN, Tracer, capture
+
+
+def test_spans_nest_into_a_tree():
+    tr = Tracer(enabled=True)
+    with tr.span("flow", sinks=4):
+        with tr.span("level", level=0):
+            with tr.span("cluster", net="c0"):
+                pass
+            with tr.span("cluster", net="c1"):
+                pass
+        with tr.span("level", level=1):
+            pass
+    assert len(tr.roots) == 1
+    root = tr.roots[0]
+    assert root.name == "flow"
+    assert root.attrs == {"sinks": 4}
+    assert [c.name for c in root.children] == ["level", "level"]
+    assert [c.attrs["net"] for c in root.children[0].children] == ["c0", "c1"]
+    assert tr.max_depth() == 3
+
+
+def test_span_durations_are_ordered():
+    tr = Tracer(enabled=True)
+    with tr.span("outer"):
+        with tr.span("inner"):
+            time.sleep(0.001)
+    outer, inner = tr.roots[0], tr.roots[0].children[0]
+    assert inner.duration > 0
+    assert outer.duration >= inner.duration
+    assert outer.start <= inner.start <= inner.end <= outer.end
+
+
+def test_current_tracks_the_open_span():
+    tr = Tracer(enabled=True)
+    assert tr.current() is None
+    with tr.span("a"):
+        assert tr.current().name == "a"
+        with tr.span("b"):
+            assert tr.current().name == "b"
+        assert tr.current().name == "a"
+    assert tr.current() is None
+
+
+def test_disabled_tracer_returns_the_shared_null_span():
+    tr = Tracer()
+    # identity, not mere equivalence: the disabled path allocates nothing
+    assert tr.span("x") is _NULL_SPAN
+    assert tr.span("y", net="n") is _NULL_SPAN
+    with tr.span("x") as span:
+        assert span is None
+    assert tr.roots == []
+
+
+def test_disabled_tracer_overhead_guard():
+    tr = Tracer()
+    start = time.perf_counter()
+    for _ in range(100_000):
+        with tr.span("hot", i=0):
+            pass
+    elapsed = time.perf_counter() - start
+    # ~100k disabled spans must cost well under a second even on slow CI
+    assert elapsed < 1.0
+    assert tr.roots == []
+
+
+def test_shape_ignores_timing():
+    def run():
+        tr = Tracer(enabled=True)
+        with tr.span("flow", sinks=2):
+            with tr.span("route", net="c0"):
+                time.sleep(0.0005)
+        return tr.roots[0].shape()
+
+    assert run() == run()
+
+
+def test_reset_drops_spans():
+    tr = Tracer(enabled=True)
+    with tr.span("a"):
+        pass
+    tr.reset()
+    assert tr.roots == []
+    assert tr.current() is None
+
+
+def test_capture_restores_enabled_state_and_keeps_spans():
+    tr = Tracer()
+    with capture(tr):
+        assert tr.enabled
+        with tr.span("flow"):
+            pass
+    assert not tr.enabled
+    # spans survive capture so they can be exported afterwards
+    assert [r.name for r in tr.roots] == ["flow"]
+
+
+def test_threads_get_independent_stacks():
+    tr = Tracer(enabled=True)
+    barrier = threading.Barrier(4)
+
+    def worker(i):
+        barrier.wait()
+        with tr.span("flow", worker=i):
+            for j in range(10):
+                with tr.span("level", n=j):
+                    with tr.span("cluster"):
+                        pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tr.roots) == 4
+    for root in tr.roots:
+        # nesting intact per thread: no cross-thread adoption
+        assert root.name == "flow"
+        assert len(root.children) == 10
+        assert all(s.tid == root.tid for s in root.walk())

@@ -62,12 +62,18 @@ def test_bench_writes_trajectory(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "perf trajectory" in out
     payload = json.loads(out_path.read_text())
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     assert [r["sinks"] for r in payload["records"]] == [40, 60]
     for rec in payload["records"]:
         assert rec["runtime_s"] > 0
         assert "route" in rec["stage_time_s"]
         assert rec["num_buffers"] >= 1
+        # v2: flow_events is a per-kind breakdown, not an opaque count
+        assert rec["flow_events"]["total"] == sum(
+            v for k, v in rec["flow_events"].items() if k != "total"
+        )
+        # v2: the obs metrics snapshot rides along with every record
+        assert rec["metrics"]["counters"]["salt.grid.queries"] > 0
 
 
 def test_bench_rejects_bad_sizes(capsys):
@@ -76,6 +82,46 @@ def test_bench_rejects_bad_sizes(capsys):
     assert excinfo.value.code == 2
     err = capsys.readouterr().err
     assert "error" in err and "positive" in err
+
+
+def test_flow_trace_roundtrip(tmp_path, capsys):
+    trace_path = tmp_path / "flow.trace.json"
+    assert main(["flow", "--design", "s38584", "--scale", "0.05",
+                 "--trace", str(trace_path)]) == 0
+    assert "trace written" in capsys.readouterr().out
+    payload = json.loads(trace_path.read_text())
+    assert payload["traceEvents"]
+    capsys.readouterr()
+    assert main(["trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "flow" in out and "metrics" in out
+
+
+def test_bench_trace(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    trace_path = tmp_path / "bench.trace.json"
+    assert main(["bench", "--sizes", "40", "--out", str(out_path),
+                 "--trace", str(trace_path)]) == 0
+    payload = json.loads(trace_path.read_text())
+    names = {ev["name"] for ev in payload["traceEvents"] if ev["ph"] == "X"}
+    assert "flow" in names
+
+
+def test_trace_bad_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.trace.json"
+    path.write_text("{oops")
+    assert main(["trace", str(path)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_verbose_flag_accepted(capsys):
+    assert main(["-v", "flow", "--design", "s38584", "--scale",
+                 "0.05"]) == 0
+
+
+def test_bad_log_level_exits_2(capsys):
+    assert main(["--log-level", "NOPE", "designs"]) == 2
+    assert "error:" in capsys.readouterr().err
 
 
 def test_designs_lists_catalog(capsys):
