@@ -17,6 +17,7 @@ import os
 from pathlib import Path
 
 from repro.perf import (
+    DEFAULT_JOBS,
     DEFAULT_SIZES,
     format_perf_table,
     run_perf,
@@ -27,6 +28,8 @@ from conftest import emit
 
 ROOT_TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
 
+QUALITY_FIELDS = ("wirelength_um", "latency_ps", "skew_ps", "num_buffers")
+
 
 def _sizes() -> tuple[int, ...]:
     raw = os.environ.get("REPRO_PERF_SIZES", "")
@@ -35,17 +38,38 @@ def _sizes() -> tuple[int, ...]:
     return tuple(int(tok) for tok in raw.split(",") if tok.strip())
 
 
+def _jobs() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_PERF_JOBS", "")
+    if not raw:
+        return DEFAULT_JOBS
+    return tuple(int(tok) for tok in raw.split(",") if tok.strip())
+
+
 def test_perf_trajectory(once):
     sizes = _sizes()
-    payload = once(run_perf, sizes)
+    jobs = _jobs()
+    payload = once(run_perf, sizes, 0, 100, jobs)
     emit("perf", format_perf_table(payload), data=payload)
-    if sizes == DEFAULT_SIZES:
-        # only a canonical-size run may replace the committed trajectory;
-        # REPRO_PERF_SIZES smoke runs stay in benchmarks/results/
+    if sizes == DEFAULT_SIZES and jobs == DEFAULT_JOBS:
+        # only a canonical run may replace the committed trajectory;
+        # REPRO_PERF_SIZES/REPRO_PERF_JOBS smoke runs stay in
+        # benchmarks/results/
         write_bench_json(payload, ROOT_TRAJECTORY)
 
     records = payload["records"]
-    assert [r["sinks"] for r in records] == list(sizes)
+    assert [(r["sinks"], r["jobs"]) for r in records] == [
+        (n, j) for n in sizes for j in jobs
+    ]
+    # serial/parallel equivalence: quality columns of every parallel
+    # point must be byte-identical to the serial point of its size
+    serial = {r["sinks"]: r for r in records if r["jobs"] == 1}
+    for rec in records:
+        ref = serial.get(rec["sinks"])
+        if ref is None:
+            continue
+        for quality in QUALITY_FIELDS:
+            assert rec[quality] == ref[quality], (
+                rec["sinks"], rec["jobs"], quality)
     for rec in records:
         # the hierarchical stages must all be visible in the breakdown
         assert {"partition", "route", "buffer"} <= set(rec["stage_time_s"])
@@ -55,7 +79,9 @@ def test_perf_trajectory(once):
         assert rec["flow_events"]["total"] >= 0
         assert rec["metrics"]["counters"]["salt.grid.queries"] > 0
     # near-linear growth: 10x sinks must cost far less than 100x time
-    first, last = records[0], records[-1]
+    # (measured on the serial points so pool overhead cannot distort it)
+    serial_records = [r for r in records if r["jobs"] == 1] or records
+    first, last = serial_records[0], serial_records[-1]
     growth = last["runtime_s"] / max(first["runtime_s"], 1e-9)
     size_growth = last["sinks"] / first["sinks"]
     assert growth < size_growth ** 2

@@ -119,7 +119,12 @@ def cmd_route(args) -> int:
 
 def _run_flow(args, tech, design):
     if args.flow == "ours":
-        return HierarchicalCTS(tech=tech).run(design.sinks, design.source)
+        from repro.cts import FlowConfig
+
+        config = FlowConfig(jobs=getattr(args, "jobs", 1))
+        return HierarchicalCTS(tech=tech, config=config).run(
+            design.sinks, design.source
+        )
     if args.flow == "commercial":
         return commercial_like_cts(design.sinks, design.source, tech)
     return openroad_like_cts(design.sinks, design.source, tech)
@@ -197,11 +202,13 @@ def cmd_bench(args) -> int:
     if args.trace:
         with capture(TRACER):
             payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
-                               sa_iterations=args.sa_iterations)
+                               sa_iterations=args.sa_iterations,
+                               jobs=tuple(args.jobs))
         trace_path = write_trace(args.trace)
     else:
         payload = run_perf(sizes=tuple(args.sizes), seed=args.seed,
-                           sa_iterations=args.sa_iterations)
+                           sa_iterations=args.sa_iterations,
+                           jobs=tuple(args.jobs))
         trace_path = None
     print(format_perf_table(payload))
     path = write_bench_json(payload, args.out)
@@ -226,7 +233,7 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(
-            f"sink count must be positive, got {value}"
+            f"value must be positive, got {value}"
         )
     return value
 
@@ -307,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="record the run as Chrome trace-event JSON (Perfetto)",
     )
+    p_flow.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for per-cluster routing: 1 = serial "
+             "(default), N > 1 = pool of N, 0 = one per CPU "
+             "('ours' flow only)",
+    )
     p_flow.set_defaults(func=cmd_flow)
 
     p_check = sub.add_parser(
@@ -340,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--trace", metavar="PATH",
         help="record the bench runs as Chrome trace-event JSON",
+    )
+    p_bench.add_argument(
+        "--jobs", type=_positive_int, nargs="+", default=[1],
+        help="worker-process counts to record, one trajectory point "
+             "per (size, jobs) pair (default: 1)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -53,6 +53,7 @@ from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.netlist.sink import Sink
 from repro.netlist.tree import RoutedTree
+from repro.parallel import ClusterTask, ParallelRouter
 from repro.partition.annealing import SAConfig, anneal_partition, total_cost
 from repro.partition.clustering import Cluster, cluster_cap
 from repro.partition.kmeans import balanced_kmeans
@@ -81,6 +82,10 @@ class FlowConfig:
     partitioner: Callable | None = None
     # constraint-repair passes per net before violations become residual
     repair_budget: int = 2
+    # worker processes for per-cluster routing: 1 = the serial loop
+    # (byte-identical to the pre-parallel flow), N > 1 = a pool of N,
+    # 0 or negative = one per CPU.  See docs/PARALLELISM.md.
+    jobs: int = 1
 
 
 @dataclass(slots=True)
@@ -105,6 +110,7 @@ class CTSResult:
     levels: list[LevelStats]
     runtime_s: float
     diagnostics: FlowDiagnostics | None = None
+    top_buffers: int = 0          # buffers inserted on the top (source) net
 
 
 class HierarchicalCTS:
@@ -148,53 +154,73 @@ class HierarchicalCTS:
         cons = self._constraints
         cfg = self._config
         diag = diagnostics if diagnostics is not None else FlowDiagnostics()
-        chain = RouterFallbackChain(
-            cons.skew_bound,
-            eps=cfg.eps,
-            topology=cfg.topology,
-            primary=cfg.router,
-            diagnostics=diag,
-        )
+        chain = self.build_chain(diag)
         current = list(sinks)
         levels: list[LevelStats] = []
         subtrees: dict[str, RoutedTree] = {}  # driver sink name -> its net tree
         level = 0
+        pool = ParallelRouter(self, cfg.jobs) if cfg.jobs != 1 else None
 
-        while len(current) > cons.max_fanout:
-            with TRACER.span("level", level=level, sinks=len(current)):
-                clusters, sa_before, sa_after, next_sinks, buffers_added = \
-                    self._run_level(current, level, chain, diag, subtrees)
-            levels.append(LevelStats(
-                level=level,
-                num_sinks=len(current),
-                num_clusters=len(next_sinks),
-                sa_cost_before=sa_before,
-                sa_cost_after=sa_after,
-                max_net_cap=max(
-                    (cluster_cap(c, self._tech.unit_cap)
-                     for c in clusters if c.sinks),
-                    default=0.0,
-                ),
-                max_net_fanout=max(
-                    (c.size for c in clusters), default=0
-                ),
-                buffers_added=buffers_added,
-            ))
-            _LOG.debug(
-                "level %d: %d sinks -> %d clusters, %d buffers",
-                level, len(current), len(next_sinks), buffers_added,
-            )
-            current = next_sinks
-            level += 1
+        try:
+            while len(current) > cons.max_fanout:
+                with TRACER.span("level", level=level, sinks=len(current)):
+                    clusters, sa_before, sa_after, next_sinks, \
+                        buffers_added = self._run_level(
+                            current, level, chain, diag, subtrees, pool
+                        )
+                levels.append(LevelStats(
+                    level=level,
+                    num_sinks=len(current),
+                    num_clusters=len(next_sinks),
+                    sa_cost_before=sa_before,
+                    sa_cost_after=sa_after,
+                    max_net_cap=max(
+                        (cluster_cap(c, self._tech.unit_cap)
+                         for c in clusters if c.sinks),
+                        default=0.0,
+                    ),
+                    max_net_fanout=max(
+                        (c.size for c in clusters), default=0
+                    ),
+                    buffers_added=buffers_added,
+                ))
+                _LOG.debug(
+                    "level %d: %d sinks -> %d clusters, %d buffers",
+                    level, len(current), len(next_sinks), buffers_added,
+                )
+                current = next_sinks
+                level += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         with TRACER.span("level", level=-1, sinks=len(current)):
-            top_tree = self._route_top(current, source, chain, diag)
+            top_tree, top_buffers = self._route_top(
+                current, source, chain, diag
+            )
+        METRICS.inc("cts.top_buffers", top_buffers)
         full = self._assemble(top_tree, subtrees, sinks, diag)
         return CTSResult(
             tree=full,
             levels=levels,
             runtime_s=now() - start,
             diagnostics=diag,
+            top_buffers=top_buffers,
+        )
+
+    def build_chain(self, diagnostics: FlowDiagnostics) -> RouterFallbackChain:
+        """The run's configured fallback chain, bound to ``diagnostics``.
+
+        Also the hook :mod:`repro.parallel` workers use to rebuild an
+        identical chain around a task-local diagnostics object, so a
+        cluster routes through exactly the same ladder in either mode.
+        """
+        return RouterFallbackChain(
+            self._constraints.skew_bound,
+            eps=self._config.eps,
+            topology=self._config.topology,
+            primary=self._config.router,
+            diagnostics=diagnostics,
         )
 
     def _run_level(
@@ -204,6 +230,7 @@ class HierarchicalCTS:
         chain: RouterFallbackChain,
         diag: FlowDiagnostics,
         subtrees: dict[str, RoutedTree],
+        pool: "ParallelRouter | None" = None,
     ) -> tuple[list[Cluster], float, float, list[Sink], int]:
         """One bottom-up level: partition, then route/buffer each cluster."""
         cons = self._constraints
@@ -221,17 +248,50 @@ class HierarchicalCTS:
                 clusters = forced_median_split(
                     current, max(2, cons.max_fanout)
                 )
+                # the SA stats computed above describe the *discarded*
+                # partition; report the cost of the clusters actually
+                # used so LevelStats never quotes a dropped state
+                forced_cost = total_cost(clusters, self._sa_config(level))
+                sa_before = sa_after = forced_cost
         next_sinks: list[Sink] = []
         buffers_added = 0
-        for j, cluster in enumerate(clusters):
-            if not cluster.sinks:
-                continue
-            name = f"L{level}_c{j}"
-            with TRACER.span("cluster", net=name, sinks=cluster.size):
-                driver_sink, tree, nbuf = self._route_cluster(
-                    name, cluster, level, chain, diag
-                )
-            subtrees[name] = tree
+        tasks = [
+            ClusterTask(
+                index=j,
+                name=f"L{level}_c{j}",
+                level=level,
+                sinks=tuple(cluster.sinks),
+                center=cluster.center,
+            )
+            for j, cluster in enumerate(clusters)
+            if cluster.sinks
+        ]
+        outcomes = pool.route_clusters(tasks) \
+            if pool is not None and len(tasks) > 1 \
+            else [None] * len(tasks)
+        for task, outcome in zip(tasks, outcomes):
+            if outcome is None:
+                if pool is not None and len(tasks) > 1:
+                    diag.record(
+                        "route", "fault", level=level, net=task.name,
+                        detail="parallel worker failed; "
+                               "routed serially in parent",
+                    )
+                cluster = Cluster(list(task.sinks), task.center)
+                with TRACER.span("cluster", net=task.name,
+                                 sinks=cluster.size):
+                    driver_sink, tree, nbuf = self._route_cluster(
+                        task.name, cluster, level, chain, diag
+                    )
+            else:
+                driver_sink, tree, nbuf = \
+                    outcome.driver, outcome.tree, outcome.buffers
+                diag.merge(outcome.diagnostics)
+                METRICS.merge_raw(outcome.metrics)
+                if TRACER.enabled and outcome.spans:
+                    TRACER.adopt(outcome.spans, tid=outcome.worker,
+                                 worker=outcome.worker)
+            subtrees[task.name] = tree
             next_sinks.append(driver_sink)
             buffers_added += nbuf
         return clusters, sa_before, sa_after, next_sinks, buffers_added
@@ -243,7 +303,7 @@ class HierarchicalCTS:
         self, sinks: list[Sink], level: int, diag: FlowDiagnostics
     ) -> tuple[list[Cluster], float, float]:
         try:
-            return self._partition_inner(sinks, level)
+            return self._partition_inner(sinks, level, diag)
         except Exception as exc:  # noqa: BLE001 — degrade, don't abort
             diag.record(
                 "partition", "downgrade", level=level,
@@ -256,7 +316,7 @@ class HierarchicalCTS:
             return clusters, 0.0, 0.0
 
     def _partition_inner(
-        self, sinks: list[Sink], level: int
+        self, sinks: list[Sink], level: int, diag: FlowDiagnostics
     ) -> tuple[list[Cluster], float, float]:
         cons = self._constraints
         cfg = self._config
@@ -268,7 +328,7 @@ class HierarchicalCTS:
             centers, labels = partition_fn(
                 points, max_size=max_size, seed=cfg.seed + level
             )
-            clusters = self._materialise(sinks, centers, labels)
+            clusters = self._materialise(sinks, centers, labels, level, diag)
             worst = max(
                 (cluster_cap(c, self._tech.unit_cap)
                  for c in clusters if c.sinks),
@@ -278,7 +338,23 @@ class HierarchicalCTS:
                 break
             max_size = max(2, max_size // 2)
 
-        sa_cfg = SAConfig(
+        sa_cfg = self._sa_config(level)
+        before = total_cost(clusters, sa_cfg)
+        if cfg.use_sa and len(clusters) > 1:
+            clusters, _trace = anneal_partition(clusters, sa_cfg)
+            # recompute from the returned state: the trace is built from
+            # incremental deltas, so quoting min(trace) could report a
+            # cost the returned clusters do not actually have
+            after = total_cost(clusters, sa_cfg)
+        else:
+            after = before
+        return [c for c in clusters if c.sinks], before, after
+
+    def _sa_config(self, level: int) -> SAConfig:
+        """The level's annealing/cost configuration (Table 5 units)."""
+        cfg = self._config
+        cons = self._constraints
+        return SAConfig(
             iterations=cfg.sa_iterations,
             seed=cfg.seed + level,
             max_cap=cons.max_cap,
@@ -286,21 +362,47 @@ class HierarchicalCTS:
             max_length=cons.max_length,
             unit_cap=self._tech.unit_cap,
         )
-        before = total_cost(clusters, sa_cfg)
-        if cfg.use_sa and len(clusters) > 1:
-            clusters, trace = anneal_partition(clusters, sa_cfg)
-            after = min(trace)  # anneal_partition returns the best state
-        else:
-            after = before
-        return [c for c in clusters if c.sinks], before, after
 
-    @staticmethod
     def _materialise(
-        sinks: list[Sink], centers: list[Point], labels: list[int]
+        self,
+        sinks: list[Sink],
+        centers: list[Point],
+        labels: list[int],
+        level: int,
+        diag: FlowDiagnostics,
     ) -> list[Cluster]:
+        """Group sinks by label into clusters around ``centers``.
+
+        A label outside ``range(len(centers))`` is a partitioner bug;
+        instead of silently dropping the clock sink (the old behaviour)
+        the sink is attached to its nearest center and the degradation
+        is recorded through flowguard.
+        """
+        if not centers and sinks:
+            raise ValueError(
+                f"partitioner returned no centers for {len(sinks)} sinks"
+            )
         groups: dict[int, list[Sink]] = {}
+        strays = 0
         for sink, label in zip(sinks, labels):
+            if not 0 <= label < len(centers):
+                label = min(
+                    range(len(centers)),
+                    key=lambda j: (
+                        abs(centers[j].x - sink.location.x)
+                        + abs(centers[j].y - sink.location.y)
+                    ),
+                )
+                strays += 1
             groups.setdefault(label, []).append(sink)
+        if strays:
+            diag.record(
+                "partition", "downgrade", level=level,
+                detail=(f"{strays} sink(s) with out-of-range labels "
+                        f"attached to nearest center instead of "
+                        f"being dropped"),
+            )
+            METRICS.inc("partition.stray_sinks", strays)
         return [
             Cluster(groups.get(j, []), center)
             for j, center in enumerate(centers)
@@ -420,18 +522,24 @@ class HierarchicalCTS:
         source: Point,
         chain: RouterFallbackChain,
         diag: FlowDiagnostics,
-    ) -> RoutedTree:
+    ) -> tuple[RoutedTree, int]:
+        """Route and buffer the source net; returns (tree, #buffers).
+
+        The buffer count used to be discarded here, leaving top-net
+        buffers invisible in every stat; it now surfaces as
+        ``CTSResult.top_buffers`` and the ``cts.top_buffers`` counter.
+        """
         net = ClockNet("top", source, sinks)
         with diag.timed("route", level=-1, net="top"):
             tree = chain.route(net, ElmoreDelay(self._tech), level=-1)
-        self._buffer_tree(tree, -1, "top", diag)
+        nbuf = self._buffer_tree(tree, -1, "top", diag)
         with diag.timed("check", level=-1, net="top"):
             check_and_repair(
                 tree, self._constraints, self._tech, self._lib,
                 budget=self._config.repair_budget, diagnostics=diag,
                 level=-1, net="top", source_slew=self._config.source_slew,
             )
-        return tree
+        return tree, nbuf
 
     def _assemble(
         self,

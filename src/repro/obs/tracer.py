@@ -83,6 +83,20 @@ class Span:
             stack.extend((c, d + 1) for c in span.children)
         return depth
 
+    def restamp_tid(self, tid: int) -> None:
+        """Rewrite the thread id of this span and every descendant.
+
+        Spans shipped back from a worker process carry the worker's
+        thread ident, which can collide with the parent's; adopting
+        them under a synthetic per-worker tid keeps each worker on its
+        own track in trace viewers and keeps the timestamp-containment
+        re-nesting of :func:`repro.obs.export.spans_from_trace` sound
+        (one worker runs its tasks serially, so its spans never
+        overlap within a tid).
+        """
+        for span in self.walk():
+            span.tid = tid
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Span({self.name!r}, {self.attrs}, "
                 f"{self.duration * 1e3:.3f}ms, "
@@ -166,6 +180,35 @@ class Tracer:
         """The innermost open span of the calling thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def adopt(
+        self,
+        roots: list[Span],
+        *,
+        parent: Span | None = None,
+        tid: int | None = None,
+        **attrs,
+    ) -> None:
+        """Graft foreign spans (e.g. from a worker process) into this
+        tracer's forest.
+
+        Each root in ``roots`` is stamped with ``attrs`` (the caller
+        passes ``worker=<pid>`` so the origin stays visible), its whole
+        subtree is re-stamped to ``tid`` when one is given (see
+        :meth:`Span.restamp_tid`), and it is appended under ``parent``
+        — defaulting to the calling thread's innermost open span — or
+        collected as a new root when no span is open.
+        """
+        target = parent if parent is not None else self.current()
+        for root in roots:
+            root.attrs.update(attrs)
+            if tid is not None:
+                root.restamp_tid(tid)
+            if target is not None:
+                target.children.append(root)
+            else:
+                with self._lock:
+                    self.roots.append(root)
 
     # ------------------------------------------------------------------
     def enable(self) -> None:

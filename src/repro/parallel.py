@@ -1,0 +1,248 @@
+"""Process-pool parallel routing of cluster nets.
+
+The hierarchical level loop (paper Fig. 3) is embarrassingly parallel
+at its hottest point: each cluster net of a level routes, buffers,
+constraint-checks and analyzes independently of its siblings — the only
+cross-cluster coupling is the partition that produced the clusters
+(computed before the fan-out) and the driver sinks fed to the *next*
+level (collected after it).  :class:`ParallelRouter` exploits exactly
+that window: it fans :meth:`repro.cts.framework.HierarchicalCTS.
+_route_cluster` out over a process pool and hands the results back in
+cluster-index order.
+
+Determinism contract (the property ``tests/cts/test_parallel.py``
+pins):
+
+* every task is self-contained — a :class:`ClusterTask` carries the
+  cluster's sinks and center, the net name and the level; the per-pool
+  worker context (technology, buffer library, constraints, flow config)
+  is installed once by the pool initializer;
+* each worker routes its task with a **fresh**
+  :class:`~repro.flowguard.diagnostics.FlowDiagnostics` and a fresh
+  fallback chain, and snapshots its own ``METRICS``/``TRACER`` (reset
+  per task), so nothing about a task's outcome depends on which worker
+  ran it or on sibling tasks;
+* the parent folds outcomes back **in cluster-index order** — subtree
+  registration, next-level driver sinks, diagnostics events, metric
+  snapshots and adopted spans all merge in the same order the serial
+  loop would have produced them.
+
+``jobs=1`` never constructs a pool: the framework keeps the original
+serial loop, byte-identical to the pre-parallel flow.  A worker failure
+(unpicklable payload, killed process, broken pool) degrades per task:
+the parent records a flowguard event and routes that cluster serially —
+the flow never aborts because the pool did.
+
+Worker-side observability rides home on the outcome: captured span
+roots are re-parented under the parent's open ``level`` span via
+:meth:`~repro.obs.tracer.Tracer.adopt` (stamped ``worker=<pid>``), and
+the worker's metrics registry snapshot merges into the parent registry
+via :meth:`~repro.obs.metrics.MetricsRegistry.merge_raw`.  See
+docs/PARALLELISM.md for the full argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.flowguard.diagnostics import FlowDiagnostics
+from repro.netlist.sink import Sink
+from repro.netlist.tree import RoutedTree
+from repro.geometry import Point
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER, Span
+from repro.partition.clustering import Cluster
+
+_LOG = get_logger("parallel")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterTask:
+    """One cluster net to route, as a picklable, self-contained payload."""
+
+    index: int                 # cluster index within the level (merge key)
+    name: str                  # net name, e.g. "L0_c3"
+    level: int                 # hierarchy level
+    sinks: tuple[Sink, ...]    # the cluster's sinks
+    center: Point              # the partitioner's center for the cluster
+
+
+@dataclass(slots=True)
+class ClusterOutcome:
+    """Everything a worker produced for one task."""
+
+    index: int
+    name: str
+    driver: Sink               # next-level sink (the placed driver)
+    tree: RoutedTree           # routed + buffered + repaired net tree
+    buffers: int               # buffers added on this net (incl. driver)
+    diagnostics: FlowDiagnostics  # task-local events + stage times
+    metrics: dict              # MetricsRegistry.raw_snapshot() of the task
+    spans: list[Span] = field(default_factory=list)  # captured roots
+    worker: int = 0            # pid of the worker that ran the task
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Effective worker count: ``jobs >= 1`` verbatim, else CPU count."""
+    if jobs >= 1:
+        return jobs
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# Installed once per worker process by the pool initializer.  Under the
+# preferred fork start method the engine is inherited by memory image
+# (no pickling); under spawn it must survive a pickle round-trip.
+_WORKER: dict = {}
+
+
+def _init_worker(engine, trace_enabled: bool) -> None:
+    _WORKER["engine"] = engine
+    _WORKER["trace"] = trace_enabled
+    # a forked worker inherits the parent's collected spans/metrics;
+    # they must not leak into (or double-count with) task snapshots
+    TRACER.reset()
+    TRACER.disable()
+    METRICS.reset()
+    # ordered update log: lets the parent replay this worker's metric
+    # updates bit-exactly in serial task order (see metrics.merge_raw)
+    METRICS.begin_event_log()
+
+
+def _run_cluster_task(task: ClusterTask) -> ClusterOutcome:
+    """Route one cluster net inside a worker process.
+
+    Mirrors one iteration of the serial loop in
+    ``HierarchicalCTS._run_level`` exactly — same engine code, same
+    ``cluster`` span — against task-local diagnostics, metrics and
+    tracer state so the outcome is order- and worker-independent.
+    """
+    engine = _WORKER["engine"]
+    trace = _WORKER["trace"]
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = trace
+    diag = FlowDiagnostics()
+    chain = engine.build_chain(diag)
+    cluster = Cluster(list(task.sinks), task.center)
+    try:
+        with TRACER.span("cluster", net=task.name, sinks=cluster.size):
+            driver, tree, nbuf = engine._route_cluster(
+                task.name, cluster, task.level, chain, diag
+            )
+    finally:
+        TRACER.enabled = False
+    return ClusterOutcome(
+        index=task.index,
+        name=task.name,
+        driver=driver,
+        tree=tree,
+        buffers=nbuf,
+        diagnostics=diag,
+        metrics=METRICS.raw_snapshot(),
+        spans=list(TRACER.roots) if trace else [],
+        worker=os.getpid(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ParallelRouter:
+    """A per-run process pool that routes cluster tasks.
+
+    Created by :class:`~repro.cts.framework.HierarchicalCTS` when
+    ``FlowConfig.jobs != 1`` and shut down when the run ends; the pool
+    (and its forked worker context) is reused across all levels of the
+    run.  The executor is created lazily on the first batch so a run
+    whose every level is below the fan-out threshold never pays the
+    fork cost.
+    """
+
+    def __init__(self, engine, jobs: int, trace_enabled: bool | None = None):
+        self._engine = engine
+        self.jobs = resolve_jobs(jobs)
+        self._trace = TRACER.enabled if trace_enabled is None \
+            else trace_enabled
+        self._executor: ProcessPoolExecutor | None = None
+        self._dead = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._dead:
+            return None
+        if self._executor is None:
+            try:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else methods[0]
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(self._engine, self._trace),
+                )
+            except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+                _LOG.warning("process pool unavailable (%s); "
+                             "falling back to serial routing", exc)
+                self._dead = True
+                return None
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRouter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    # -- routing --------------------------------------------------------
+    def route_clusters(
+        self, tasks: list[ClusterTask]
+    ) -> list[ClusterOutcome | None]:
+        """Route ``tasks``; returns outcomes aligned with ``tasks``.
+
+        A ``None`` entry means that task's worker failed (or the pool
+        is unavailable) and the caller must route it serially — the
+        per-task degradation contract the framework relies on.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            return [None] * len(tasks)
+        try:
+            futures = [executor.submit(_run_cluster_task, t) for t in tasks]
+        except Exception as exc:  # noqa: BLE001 — pool already shut/broken
+            _LOG.warning("task submission failed (%s); routing the "
+                         "batch serially", exc)
+            self._dead = True
+            return [None] * len(tasks)
+        outcomes: list[ClusterOutcome | None] = []
+        for task, future in zip(tasks, futures):
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — worker died/unpicklable
+                _LOG.warning("worker failed on net %s (%s: %s)",
+                             task.name, exc.__class__.__name__, exc)
+                outcomes.append(None)
+                if _pool_is_broken(exc):
+                    self._dead = True
+        return outcomes
+
+
+def _pool_is_broken(exc: Exception) -> bool:
+    """True when the exception means the whole pool is unusable."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, BrokenProcessPool)

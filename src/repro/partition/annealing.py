@@ -91,11 +91,15 @@ def anneal_partition(
             delta = _move_delta(state, costs, cfg, src, dst, sink_idx)
             if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-9)):
                 # the applied delta differs slightly from the estimate because
-                # the move also re-centers both nets; track the exact value
+                # the move also re-centers both nets; re-sum the per-net
+                # costs rather than accumulating deltas, so ``current``
+                # (and therefore the trace and the best-state snapshot
+                # decision) can never drift away from the cost the state
+                # actually has — min(trace) equals
+                # total_cost(best_state) bit-for-bit
                 accepted += 1
-                before = costs[src] + costs[dst]
                 _apply_move(state, costs, cfg, src, dst, sink_idx)
-                current += (costs[src] + costs[dst]) - before
+                current = sum(costs)
                 if current < best_cost:
                     best_cost = current
                     best_state = [Cluster(list(c.sinks), c.center)
@@ -105,7 +109,8 @@ def anneal_partition(
 
     METRICS.inc("partition.sa_moves_proposed", proposed)
     METRICS.inc("partition.sa_moves_accepted", accepted)
-    METRICS.observe("partition.sa_cost_drop", trace[0] - min(trace))
+    METRICS.observe("partition.sa_cost_drop",
+                    trace[0] - total_cost(best_state, cfg))
     return best_state, trace
 
 

@@ -39,7 +39,14 @@ DEFAULT_SIZES = (200, 500, 1000, 2000)
 #: Bumped whenever the JSON layout changes.
 #: v2: ``flow_events`` became the per-kind breakdown dict and every
 #: record gained a ``metrics`` sub-dict (the obs registry snapshot).
-SCHEMA_VERSION = 2
+#: v3: every record gained a ``jobs`` column (worker-process count for
+#: per-cluster routing); the trajectory may hold serial and parallel
+#: points for the same size, whose quality columns must be identical.
+SCHEMA_VERSION = 3
+
+#: Worker counts of the standard trajectory: the serial baseline plus a
+#: 4-way parallel point with (required) identical quality columns.
+DEFAULT_JOBS = (1, 4)
 
 
 def make_uniform_sinks(
@@ -64,39 +71,48 @@ def run_perf(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     seed: int = 0,
     sa_iterations: int = 100,
+    jobs: tuple[int, ...] = (1,),
 ) -> dict:
-    """Run the flow at every size; returns the JSON-ready payload."""
+    """Run the flow at every (size, jobs) point; returns the payload.
+
+    ``jobs`` values beyond 1 exercise the :mod:`repro.parallel`
+    process pool; their quality columns must be byte-identical to the
+    serial point of the same size (the equivalence contract CI pins).
+    """
     tech = Technology()
     records = []
     for n in sizes:
-        sinks, side = make_uniform_sinks(n, seed)
-        source = Point(side / 2, side / 2)
-        engine = HierarchicalCTS(
-            tech=tech, config=FlowConfig(sa_iterations=sa_iterations)
-        )
-        METRICS.reset()  # per-record snapshot: this run's work only
-        t0 = now()
-        result = engine.run(sinks, source)
-        wall_s = now() - t0
-        report = evaluate_result(result, tech)
-        diag = result.diagnostics
-        records.append({
-            "sinks": n,
-            "runtime_s": round(wall_s, 4),
-            "stage_time_s": {
-                stage: round(t, 4)
-                for stage, t in sorted(diag.stage_time_s.items())
-            } if diag is not None else {},
-            "wirelength_um": report.clock_wl_um,
-            "latency_ps": report.latency_ps,
-            "skew_ps": report.skew_ps,
-            "num_buffers": report.num_buffers,
-            "flow_events": diag.event_breakdown() if diag is not None
-            else {"total": 0},
-            "metrics": METRICS.as_dict(),
-        })
-        _LOG.info("perf: %d sinks in %.3fs (%d flow events)",
-                  n, wall_s, records[-1]["flow_events"]["total"])
+        for j in jobs:
+            sinks, side = make_uniform_sinks(n, seed)
+            source = Point(side / 2, side / 2)
+            engine = HierarchicalCTS(
+                tech=tech,
+                config=FlowConfig(sa_iterations=sa_iterations, jobs=j),
+            )
+            METRICS.reset()  # per-record snapshot: this run's work only
+            t0 = now()
+            result = engine.run(sinks, source)
+            wall_s = now() - t0
+            report = evaluate_result(result, tech)
+            diag = result.diagnostics
+            records.append({
+                "sinks": n,
+                "jobs": j,
+                "runtime_s": round(wall_s, 4),
+                "stage_time_s": {
+                    stage: round(t, 4)
+                    for stage, t in sorted(diag.stage_time_s.items())
+                } if diag is not None else {},
+                "wirelength_um": report.clock_wl_um,
+                "latency_ps": report.latency_ps,
+                "skew_ps": report.skew_ps,
+                "num_buffers": report.num_buffers,
+                "flow_events": diag.event_breakdown() if diag is not None
+                else {"total": 0},
+                "metrics": METRICS.as_dict(),
+            })
+            _LOG.info("perf: %d sinks, %d job(s) in %.3fs (%d flow events)",
+                      n, j, wall_s, records[-1]["flow_events"]["total"])
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "perf",
@@ -120,13 +136,13 @@ def format_perf_table(payload: dict) -> str:
         stage for rec in payload["records"] for stage in rec["stage_time_s"]
     })
     rows = [
-        [rec["sinks"], rec["runtime_s"]]
+        [rec["sinks"], rec.get("jobs", 1), rec["runtime_s"]]
         + [rec["stage_time_s"].get(stage, 0.0) for stage in stages]
         + [rec["wirelength_um"], rec["skew_ps"], rec["num_buffers"]]
         for rec in payload["records"]
     ]
     return format_table(
-        ["#FFs", "total(s)"] + [f"{s}(s)" for s in stages]
+        ["#FFs", "jobs", "total(s)"] + [f"{s}(s)" for s in stages]
         + ["WL(um)", "skew(ps)", "#buf"],
         rows,
         title=f"perf trajectory (seed {payload['seed']})",

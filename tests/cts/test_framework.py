@@ -129,3 +129,74 @@ def test_evaluate_solution_counts_buffers():
     assert rep.num_buffers == len(result.tree.buffer_node_ids())
     assert rep.buffer_area_um2 > 0
     assert len(rep.row()) == 7
+
+
+# ----------------------------------------------------------------------
+# Flow-accounting regressions (stray labels, forced-split stats,
+# top-net buffers)
+# ----------------------------------------------------------------------
+def test_stray_labels_attach_to_nearest_center_not_dropped():
+    """A partitioner emitting labels outside range(len(centers)) used to
+    silently drop those clock sinks; they must instead reach the tree,
+    attached to the nearest center, with the degradation recorded."""
+    from repro.partition.kmeans import balanced_kmeans
+
+    def bad_partitioner(points, max_size=32, seed=0):
+        centers, labels = balanced_kmeans(points, max_size=max_size,
+                                          seed=seed)
+        labels = [
+            label if i % 7 else len(centers) + 3
+            for i, label in enumerate(labels)
+        ]
+        return centers, labels
+
+    result, _ = run_flow(n=200, partitioner=bad_partitioner)
+    assert sorted(s.name for s in result.tree.sinks()) == sorted(
+        f"ff{i}" for i in range(200)
+    )
+    strays = [
+        e for e in result.diagnostics.events
+        if e.stage == "partition" and "out-of-range" in e.detail
+    ]
+    assert strays, "stray-label degradation must be recorded"
+
+
+def test_forced_split_stats_describe_used_clusters():
+    """When the forced median split overrides a non-reducing partition,
+    LevelStats must quote the cost of the clusters actually used, not
+    the discarded partition's SA numbers."""
+    from repro.flowguard.fallback import forced_median_split
+    from repro.partition.annealing import SAConfig, total_cost
+
+    def non_reducing(points, max_size=32, seed=0):
+        return list(points), list(range(len(points)))
+
+    tech = Technology()
+    cfg = FlowConfig(sa_iterations=50, partitioner=non_reducing)
+    flow = HierarchicalCTS(tech=tech, config=cfg)
+    sinks = make_sinks(40)
+    result = flow.run(sinks, Point(75.0, 75.0))
+
+    assert result.diagnostics.forced_splits >= 1
+    forced = forced_median_split(sinks, max(2, TABLE5.max_fanout))
+    expected = total_cost(forced, SAConfig(
+        iterations=cfg.sa_iterations,
+        seed=cfg.seed + 0,
+        max_cap=TABLE5.max_cap,
+        max_fanout=TABLE5.max_fanout,
+        max_length=TABLE5.max_length,
+        unit_cap=tech.unit_cap,
+    ))
+    level0 = result.levels[0]
+    assert level0.sa_cost_before == level0.sa_cost_after == expected
+
+
+def test_top_net_buffers_surface_on_result_and_metrics():
+    from repro.obs import METRICS
+
+    METRICS.reset()
+    result, _ = run_flow(n=200)
+    assert result.top_buffers >= 1
+    assert METRICS.counter("cts.top_buffers") == result.top_buffers
+    # the top net's buffers exist in the assembled tree as well
+    assert len(result.tree.buffer_node_ids()) >= result.top_buffers

@@ -76,3 +76,94 @@ def test_concurrent_increments_do_not_lose_updates():
         t.join()
     assert m.counter("shared") == 4000
     assert m.histogram("obs")["count"] == 4000
+
+
+# ----------------------------------------------------------------------
+# Cross-process transport: raw_snapshot / merge_raw
+# ----------------------------------------------------------------------
+def test_raw_snapshot_roundtrips_through_pickle_and_merge():
+    import pickle
+
+    src = MetricsRegistry()
+    src.inc("c", 3)
+    src.set_gauge("g", 0.1 + 0.2)  # deliberately non-representable
+    src.observe("h", 1.5)
+    src.observe("h", 2.5)
+    snap = pickle.loads(pickle.dumps(src.raw_snapshot()))
+
+    dst = MetricsRegistry()
+    dst.merge_raw(snap)
+    assert dst.counter("c") == 3
+    assert dst.as_dict(precision=None) == src.as_dict(precision=None)
+
+
+def test_merge_raw_folds_into_existing_state():
+    a = MetricsRegistry()
+    a.inc("c", 2)
+    a.observe("h", 1.0)
+    a.set_gauge("g", 1.0)
+
+    b = MetricsRegistry()
+    b.inc("c", 5)
+    b.observe("h", 4.0)
+    b.set_gauge("g", 2.0)
+
+    a.merge_raw(b.raw_snapshot())
+    assert a.counter("c") == 7
+    hist = a.histogram("h")
+    assert hist["count"] == 2
+    assert hist["min"] == 1.0 and hist["max"] == 4.0
+    assert hist["total"] == 5.0
+    # gauges are last-write-wins: the merged snapshot overwrites
+    assert a.as_dict(precision=None)["gauges"]["g"] == 2.0
+
+
+def test_merge_raw_reproduces_serial_fold_order():
+    """Merging per-task snapshots in index order must equal the serial
+    float fold — the determinism contract of repro.parallel."""
+    values = [0.1, 0.2, 0.3, 1e-9, 7.7]
+    serial = MetricsRegistry()
+    for v in values:
+        serial.inc("wl", v)
+
+    merged = MetricsRegistry()
+    for v in values:
+        task = MetricsRegistry()
+        task.inc("wl", v)
+        merged.merge_raw(task.raw_snapshot())
+    assert merged.counter("wl") == serial.counter("wl")  # bit-exact
+
+
+def test_event_log_replay_is_bit_exact_with_multi_update_tasks():
+    """Per-task subtotals drift in the last float bit; the event log
+    replays the exact serial update order instead."""
+    per_task = [[0.1, 0.2], [0.3, 1e-9], [7.7, 0.1]]
+    serial = MetricsRegistry()
+    for chunk in per_task:
+        for v in chunk:
+            serial.inc("wl", v)
+            serial.observe("gain", v)
+
+    merged = MetricsRegistry()
+    for chunk in per_task:
+        task = MetricsRegistry()
+        task.begin_event_log()
+        for v in chunk:
+            task.inc("wl", v)
+            task.observe("gain", v)
+        merged.merge_raw(task.raw_snapshot())
+    assert merged.counter("wl") == serial.counter("wl")
+    assert merged.histogram("gain") == serial.histogram("gain")
+    assert merged.as_dict(precision=None) == serial.as_dict(precision=None)
+
+
+def test_event_log_survives_reset_and_clears():
+    m = MetricsRegistry()
+    m.begin_event_log()
+    m.inc("a")
+    m.reset()
+    m.inc("b", 2)
+    snap = m.raw_snapshot()
+    assert snap["events"] == [("inc", "b", 2)]
+    # without begin_event_log the snapshot carries no log
+    assert MetricsRegistry().raw_snapshot()["events"] is None

@@ -123,3 +123,56 @@ def test_threads_get_independent_stacks():
         assert root.name == "flow"
         assert len(root.children) == 10
         assert all(s.tid == root.tid for s in root.walk())
+
+
+# ----------------------------------------------------------------------
+# Cross-process transport: Span.restamp_tid / Tracer.adopt
+# ----------------------------------------------------------------------
+def _make_worker_roots():
+    """Simulate a worker: its own tracer, one task span per call."""
+    worker = Tracer(enabled=True)
+    with worker.span("cluster", net="L0_c0"):
+        with worker.span("route"):
+            pass
+    return list(worker.roots)
+
+
+def test_adopt_reparents_under_open_span_with_attrs_and_tid():
+    t = Tracer(enabled=True)
+    roots = _make_worker_roots()
+    with t.span("flow"):
+        with t.span("level", level=0) as level:
+            t.adopt(roots, tid=4242, worker=4242)
+    flow = t.roots[0]
+    assert [s.name for s in flow.children] == ["level"]
+    cluster = level.children[0]
+    assert cluster.name == "cluster"
+    assert cluster.attrs["worker"] == 4242
+    # the whole adopted subtree is restamped to the worker tid
+    assert cluster.tid == 4242
+    assert all(s.tid == 4242 for s in cluster.walk())
+    # inner structure survives the trip
+    assert [s.name for s in cluster.children] == ["route"]
+
+
+def test_adopt_with_no_open_span_appends_roots():
+    t = Tracer(enabled=True)
+    roots = _make_worker_roots()
+    t.adopt(roots)
+    assert [s.name for s in t.roots] == ["cluster"]
+
+
+def test_adopt_explicit_parent_wins_over_current():
+    t = Tracer(enabled=True)
+    with t.span("flow") as flow:
+        pass
+    roots = _make_worker_roots()
+    with t.span("other"):
+        t.adopt(roots, parent=flow)
+    assert [s.name for s in flow.children] == ["cluster"]
+
+
+def test_restamp_tid_walks_the_subtree():
+    roots = _make_worker_roots()
+    roots[0].restamp_tid(7)
+    assert all(s.tid == 7 for s in roots[0].walk())

@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.geometry import Point
 from repro.partition import (
@@ -112,3 +114,42 @@ def test_sa_does_not_mutate_input():
     sizes = [c.size for c in clusters]
     anneal_partition(clusters, SAConfig(iterations=100, seed=4, max_fanout=8))
     assert [c.size for c in clusters] == sizes
+
+
+# ----------------------------------------------------------------------
+# Cost-drift regression: the trace and the returned state must agree
+# ----------------------------------------------------------------------
+points = st.tuples(
+    st.floats(min_value=0.0, max_value=400.0,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=400.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    groups=st.lists(
+        st.lists(points, min_size=1, max_size=8),
+        min_size=2, max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_sa_trace_is_consistent_with_returned_state(groups, seed):
+    """``min(trace)`` must equal ``total_cost(best_state)`` bit-for-bit.
+
+    ``anneal_partition`` used to accumulate the running cost by
+    incremental deltas, so under float drift the reported minimum could
+    disagree with the cost of the state it actually returns; the cost
+    is now re-summed from the per-net costs on every acceptance."""
+    clusters = [
+        make_cluster(locs[0], locs)
+        for locs in groups
+    ]
+    cfg = SAConfig(iterations=120, seed=seed)
+    best, trace = anneal_partition(clusters, cfg)
+    assert min(trace) == total_cost(best, cfg)
+    # the trace head is the starting cost and the best state never
+    # exceeds it
+    assert trace[0] == total_cost(clusters, cfg)
+    assert total_cost(best, cfg) <= trace[0]

@@ -62,8 +62,10 @@ def test_bench_writes_trajectory(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "perf trajectory" in out
     payload = json.loads(out_path.read_text())
-    assert payload["schema_version"] == 2
+    assert payload["schema_version"] == 3
     assert [r["sinks"] for r in payload["records"]] == [40, 60]
+    # v3: every record carries the worker count it ran with
+    assert [r["jobs"] for r in payload["records"]] == [1, 1]
     for rec in payload["records"]:
         assert rec["runtime_s"] > 0
         assert "route" in rec["stage_time_s"]
