@@ -16,7 +16,15 @@ Commands:
 * ``trace``   — summarize a Chrome trace file written by ``--trace``;
 * ``designs`` — list the benchmark catalog;
 * ``gallery`` — render every topology algorithm on one net into SVGs
-  (the Fig. 1 gallery).
+  (the Fig. 1 gallery);
+* ``sweep``   — run a declarative scenario sweep (JSON spec) through
+  the content-addressed result store, optionally in parallel; cached
+  points are never recomputed;
+* ``pareto``  — extract the Pareto front (with dominance provenance)
+  from a sweep store or JSONL, as a table, ``--json``, or an SVG
+  scatter.
+
+``designs`` and ``check`` take ``--json`` for machine-readable output.
 
 ``flow`` and ``bench`` accept ``--trace out.json`` to record the run as
 hierarchical spans plus the metrics registry snapshot in Chrome
@@ -178,6 +186,27 @@ def cmd_check(args) -> int:
     )
     tree = read_tree(args.treefile, library=default_library())
     violations = audit_solution(tree, tech, constraints)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "treefile": args.treefile,
+            "clean": not violations,
+            "sinks": len(tree.sinks()),
+            "buffers": len(tree.buffer_node_ids()),
+            "constraints": {
+                "skew_bound_ps": constraints.skew_bound,
+                "max_cap_ff": constraints.max_cap,
+                "max_fanout": constraints.max_fanout,
+                "max_length_um": constraints.max_length,
+            },
+            "violations": [
+                {"kind": v.kind, "where": v.where,
+                 "value": v.value, "limit": v.limit}
+                for v in violations
+            ],
+        }, indent=2))
+        return 0 if not violations else 1
     if not violations:
         print(
             f"{args.treefile}: clean — {len(tree.sinks())} sinks, "
@@ -238,9 +267,19 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def cmd_designs(_args) -> int:
+def cmd_designs(args) -> int:
     from repro.designs import TABLE4_SPECS
 
+    if args.json:
+        import json
+
+        print(json.dumps([
+            {"design": s.name, "num_insts": s.num_insts,
+             "num_ffs": s.num_ffs, "utilization": s.utilization,
+             "die_um": round(s.die_side(), 1)}
+            for s in TABLE4_SPECS.values()
+        ], indent=2))
+        return 0
     rows = [
         [s.name, s.num_insts, s.num_ffs, s.utilization,
          round(s.die_side(), 1)]
@@ -269,6 +308,141 @@ def cmd_gallery(args) -> int:
         path = out / f"{net.name}_{algorithm}.svg"
         save_svg(tree, path, title=f"{net.name}: {algorithm}")
         print(f"wrote {path}")
+    return 0
+
+
+def _knob_summary(record: dict) -> str:
+    """Compact knob string for sweep/pareto tables."""
+    config = record.get("config") or {}
+    flow = config.get("flow") or {}
+    parts = [f"eps={flow.get('eps')}", f"seed={flow.get('seed')}",
+             f"skew<={config.get('skew_bound')}",
+             f"lib={config.get('library')}"]
+    return " ".join(parts)
+
+
+def cmd_sweep(args) -> int:
+    import json
+
+    from repro.sweep import SweepStore, load_spec, run_sweep
+
+    spec = load_spec(args.specfile)
+    store = SweepStore(args.store)
+    report = run_sweep(
+        spec, store, jobs=args.jobs,
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+    )
+    if args.json:
+        print(json.dumps({
+            "spec": spec.name,
+            "digest": spec.digest(),
+            "points": len(report.points),
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "failed": report.failed,
+            "runtime_s": report.runtime_s,
+            "jsonl": str(report.jsonl_path),
+            "records": report.records,
+        }, indent=2))
+    else:
+        rows = []
+        for record in report.records:
+            quality = record.get("quality") or {}
+            index = record["index"]
+            rows.append([
+                index,
+                record.get("design"),
+                record.get("scale"),
+                _knob_summary(record),
+                record.get("status"),
+                round(quality.get("skew_ps", 0.0), 1),
+                round(quality.get("latency_ps", 0.0), 1),
+                round(quality.get("wirelength_um", 0.0), 0),
+                quality.get("num_buffers", 0),
+                "hit" if index in report.cached_indices else "run",
+            ])
+        print(format_table(
+            ["#", "design", "scale", "knobs", "status", "skew(ps)",
+             "lat(ps)", "WL(um)", "#buf", "cache"],
+            rows,
+            title=f"sweep {spec.name!r}",
+        ))
+        print(report.summary())
+        print(f"records written to {report.jsonl_path}")
+    if args.strict and report.failed:
+        print(f"strict mode: {report.failed} point(s) failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_pareto(args) -> int:
+    import json
+
+    from repro.sweep import DEFAULT_OBJECTIVES, load_records, pareto_front
+
+    objectives = tuple(args.objectives) if args.objectives \
+        else DEFAULT_OBJECTIVES
+    records = load_records(args.path)
+    result = pareto_front(records, objectives=objectives)
+    if not result.entries:
+        raise ValueError(
+            f"{args.path}: no scoreable records "
+            f"({result.skipped} skipped)"
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        rows = []
+        for entry in sorted(
+            result.entries,
+            key=lambda e: (not e.on_front,
+                           tuple(e.objectives[o] for o in objectives)),
+        ):
+            rows.append([
+                "front" if entry.on_front else "",
+                entry.key[:12],
+                entry.record.get("design"),
+                _knob_summary(entry.record),
+                *[round(entry.objectives[o], 1) for o in objectives],
+                entry.dominated_by[:12] if entry.dominated_by else "-",
+            ])
+        print(format_table(
+            ["", "key", "design", "knobs", *objectives, "dominated by"],
+            rows,
+            title=f"Pareto over {', '.join(objectives)}",
+        ))
+        print(f"front: {len(result.front)} of {len(result.entries)} "
+              f"point(s) ({result.skipped} skipped)")
+    if args.svg:
+        from repro.viz import save_scatter_svg
+
+        x_obj = args.x or objectives[0]
+        y_obj = args.y or (objectives[1] if len(objectives) > 1
+                           else objectives[0])
+        for axis in (x_obj, y_obj):
+            if axis not in objectives:
+                raise ValueError(
+                    f"axis {axis!r} is not a sweep objective; "
+                    f"choices: {list(objectives)}"
+                )
+        points = [
+            (
+                entry.objectives[x_obj],
+                entry.objectives[y_obj],
+                entry.on_front,
+                f"#{entry.record.get('index', '?')} "
+                f"{entry.record.get('design', '?')}: " + ", ".join(
+                    f"{o}={entry.objectives[o]:g}" for o in objectives
+                ),
+            )
+            for entry in result.entries
+        ]
+        save_scatter_svg(
+            points, args.svg, x_label=x_obj, y_label=y_obj,
+            title=f"Pareto: {x_obj} vs {y_obj}",
+        )
+        print(f"scatter written to {args.svg}")
     return 0
 
 
@@ -334,6 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default=TABLE5.max_cap, help="fF")
     p_check.add_argument("--max-length", type=float,
                          default=TABLE5.max_length, help="um")
+    p_check.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     p_check.set_defaults(func=cmd_check)
 
     p_bench = sub.add_parser(
@@ -372,7 +548,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.set_defaults(func=cmd_trace)
 
     p_designs = sub.add_parser("designs", help="list the benchmark catalog")
+    p_designs.add_argument("--json", action="store_true",
+                           help="machine-readable output")
     p_designs.set_defaults(func=cmd_designs)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a scenario sweep through the result store"
+    )
+    p_sweep.add_argument("specfile", help="sweep spec (JSON)")
+    p_sweep.add_argument(
+        "--store", default="sweep-store",
+        help="content-addressed store root (default: sweep-store)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for point fan-out: 1 = serial "
+             "(default), N > 1 = pool of N, 0 = one per CPU",
+    )
+    p_sweep.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="deterministic per-point fault injection probability "
+             "(robustness testing; default: 0)",
+    )
+    p_sweep.add_argument("--fault-seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any point failed (default: report only)",
+    )
+    p_sweep.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_pareto = sub.add_parser(
+        "pareto", help="Pareto front of a sweep store or JSONL"
+    )
+    p_pareto.add_argument(
+        "path", help="store root directory or one sweep's JSONL file"
+    )
+    p_pareto.add_argument(
+        "--objectives", nargs="+", metavar="OBJ",
+        help="objectives to minimise (default: skew latency "
+             "wirelength buffers)",
+    )
+    p_pareto.add_argument("--svg", help="write an SVG scatter")
+    p_pareto.add_argument("--x", help="scatter x objective "
+                                      "(default: first objective)")
+    p_pareto.add_argument("--y", help="scatter y objective "
+                                      "(default: second objective)")
+    p_pareto.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_pareto.set_defaults(func=cmd_pareto)
 
     p_gallery = sub.add_parser("gallery",
                                help="render all topologies as SVGs")

@@ -31,7 +31,9 @@ empty-input ``ValueError``; everything else degrades and reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import dataclass, fields
 from typing import Callable
 
 from repro.buffering.estimation import insertion_delay_estimate
@@ -63,6 +65,16 @@ from repro.timing.elmore import ElmoreAnalyzer
 
 _LOG = get_logger("cts")
 
+#: Bumped when the meaning of a :class:`FlowConfig` field changes in a
+#: way that invalidates previously computed digests (a renamed knob, a
+#: changed default semantic).  Part of every sweep-store cache key.
+CONFIG_SCHEMA_VERSION = 1
+
+#: Fields that hold callables: pluggable, but not serialisable — a
+#: config carrying one cannot round-trip through ``to_dict`` and has no
+#: canonical digest.
+_CALLABLE_FIELDS = ("router", "partitioner")
+
 
 @dataclass(slots=True)
 class FlowConfig:
@@ -86,6 +98,81 @@ class FlowConfig:
     # (byte-identical to the pre-parallel flow), N > 1 = a pool of N,
     # 0 or negative = one per CPU.  See docs/PARALLELISM.md.
     jobs: int = 1
+
+    # ------------------------------------------------------------------
+    # Canonical serialisation (the sweep store's cache-key substrate)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical, JSON-ready form of this config.
+
+        Every scalar knob appears under its field name with a
+        normalised type (ints stay ints, floats become floats), so two
+        configs that compare equal serialise to identical dicts.  A
+        config carrying a pluggable callable (``router`` /
+        ``partitioner``) is not serialisable and raises ``ValueError``.
+        """
+        for name in _CALLABLE_FIELDS:
+            if getattr(self, name) is not None:
+                raise ValueError(
+                    f"FlowConfig.{name} holds a callable and cannot be "
+                    f"serialised; clear it before to_dict()/digest()"
+                )
+        out: dict = {}
+        for f in fields(self):
+            if f.name in _CALLABLE_FIELDS:
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, bool):
+                out[f.name] = value
+            elif isinstance(value, int) and f.type != "float":
+                out[f.name] = int(value)
+            else:
+                out[f.name] = float(value) if isinstance(value, (int, float)) \
+                    else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict keys).
+
+        Unknown keys raise ``ValueError`` — a sweep spec naming a knob
+        that does not exist must fail loudly, not silently run the
+        defaults.  Values are normalised exactly as ``to_dict`` does,
+        so ``from_dict(d).to_dict() == d`` for any canonical ``d``.
+        """
+        known = {f.name for f in fields(cls) if f.name not in _CALLABLE_FIELDS}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FlowConfig field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        cfg = cls(**data)
+        # normalise numeric types in place so equality and digests do
+        # not depend on whether the caller wrote 0 or 0.0 in a spec
+        for f in fields(cls):
+            if f.name in _CALLABLE_FIELDS:
+                continue
+            value = getattr(cfg, f.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if f.type == "float":
+                setattr(cfg, f.name, float(value))
+            elif f.type == "int":
+                setattr(cfg, f.name, int(value))
+        return cfg
+
+    def digest(self) -> str:
+        """Stable content hash of the canonical form (hex sha256).
+
+        Includes :data:`CONFIG_SCHEMA_VERSION` so a semantic change to
+        any knob invalidates every previously stored digest.
+        """
+        payload = json.dumps(
+            {"schema": CONFIG_SCHEMA_VERSION, "config": self.to_dict()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(slots=True)

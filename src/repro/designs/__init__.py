@@ -8,12 +8,18 @@ utilisation) — see DESIGN.md for the substitution argument.
 """
 
 from repro.designs.generator import Design, DesignSpec, generate_design
-from repro.designs.catalog import TABLE4_SPECS, design_names, load_design
+from repro.designs.catalog import (
+    TABLE4_SPECS,
+    design_fingerprint,
+    design_names,
+    load_design,
+)
 
 __all__ = [
     "Design",
     "DesignSpec",
     "TABLE4_SPECS",
+    "design_fingerprint",
     "design_names",
     "generate_design",
     "load_design",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.designs.generator import Design, DesignSpec, generate_design
 
 #: Exactly the statistics of paper Table 4.
@@ -49,3 +51,14 @@ def load_design(name: str, scale: float = 1.0) -> Design:
             f"unknown design {name!r}; catalog has {design_names()}"
         ) from None
     return generate_design(spec, scale=scale)
+
+
+@lru_cache(maxsize=None)
+def design_fingerprint(name: str, scale: float = 1.0) -> str:
+    """Content hash of a catalog design at ``scale`` (memoised).
+
+    The design half of a sweep cache key (docs/SWEEP.md): catalog
+    designs are deterministic in (name, scale), so the hash is cached
+    for the process lifetime instead of regenerating the placement.
+    """
+    return load_design(name, scale=scale).fingerprint()

@@ -9,7 +9,9 @@ clustered-sink geometry real placements hand to CTS.  Deterministic per
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,6 +53,31 @@ class Design:
     sinks: list[Sink]
     source: Point
     die_side: float
+
+    def fingerprint(self) -> str:
+        """Content hash of the placement the flow actually consumes.
+
+        Hashes the exact sink names, coordinates and capacitances plus
+        the source and die side (doubles packed bit-exactly, no string
+        rounding), so any change to the generator — constants, rng
+        stream, spec statistics — yields a different fingerprint even
+        when the spec name stays the same.  This is the design half of
+        the sweep store's cache key (docs/SWEEP.md).
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"repro-design/1:{self.spec.name}:{len(self.sinks)}:"
+            .encode("utf-8")
+        )
+        h.update(struct.pack(
+            "<3d", self.source.x, self.source.y, self.die_side
+        ))
+        for s in self.sinks:
+            h.update(s.name.encode("utf-8"))
+            h.update(struct.pack(
+                "<4d", s.location.x, s.location.y, s.cap, s.subtree_delay
+            ))
+        return h.hexdigest()
 
 
 def generate_design(spec: DesignSpec, scale: float = 1.0) -> Design:

@@ -77,7 +77,14 @@ def write_trace(
 # Load + reconstruct
 # ----------------------------------------------------------------------
 def load_trace(path: str | Path) -> dict:
-    """Read and structurally validate a trace file."""
+    """Read and structurally validate a trace file.
+
+    Every malformation a summariser downstream would trip over — wrong
+    top-level shape, a newer ``schema_version``, non-object events,
+    ``"X"`` events without a numeric ``ts`` — raises :class:`ValueError`
+    with the path (and event index) in the message, so ``repro trace``
+    exits 2 with one diagnostic line instead of a traceback.
+    """
     path = Path(path)
     try:
         text = path.read_text()
@@ -90,6 +97,48 @@ def load_trace(path: str | Path) -> dict:
     if not isinstance(payload, dict) or "traceEvents" not in payload:
         raise ValueError(f"{path}: not a Chrome trace payload "
                          f"(missing 'traceEvents')")
+    version = payload.get("schema_version", 0)
+    if not isinstance(version, int):
+        raise ValueError(
+            f"{path}: 'schema_version' must be an integer, "
+            f"got {version!r}"
+        )
+    if version > TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema {version} is newer than this build "
+            f"reads (<= {TRACE_SCHEMA_VERSION}); regenerate the trace "
+            f"or upgrade repro"
+        )
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: 'traceEvents' must be a list, "
+                         f"got {type(events).__name__}")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(
+                f"{path}: traceEvents[{i}] must be an object, "
+                f"got {type(event).__name__}"
+            )
+        if event.get("ph") != "X":
+            continue  # metadata / foreign phases: ignored downstream
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            raise ValueError(
+                f"{path}: traceEvents[{i}]: complete event needs a "
+                f"numeric 'ts', got {ts!r}"
+            )
+        dur = event.get("dur", 0.0)
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+            raise ValueError(
+                f"{path}: traceEvents[{i}]: 'dur' must be numeric, "
+                f"got {dur!r}"
+            )
+    metrics = payload.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        raise ValueError(
+            f"{path}: 'metrics' must be an object, "
+            f"got {type(metrics).__name__}"
+        )
     return payload
 
 
@@ -102,23 +151,40 @@ def spans_from_trace(payload: dict) -> list[Span]:
     """
     by_tid: dict[int, list[dict]] = {}
     for event in payload.get("traceEvents", []):
-        if event.get("ph") != "X":
+        if not isinstance(event, dict) or event.get("ph") != "X":
             continue
-        by_tid.setdefault(event.get("tid", 0), []).append(event)
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(
+                f"trace event {event.get('name', '?')!r} has no "
+                f"numeric 'ts'; not a valid complete event"
+            )
+        tid = event.get("tid", 0)
+        if not isinstance(tid, int):
+            tid = 0
+        by_tid.setdefault(tid, []).append(event)
+
+    def _dur(event: dict) -> float:
+        dur = event.get("dur", 0.0)
+        return float(dur) if isinstance(dur, (int, float)) else 0.0
 
     roots: list[Span] = []
     for tid in sorted(by_tid):
         events = sorted(
             by_tid[tid],
-            key=lambda e: (e["ts"], -e.get("dur", 0.0)),
+            key=lambda e: (e["ts"], -_dur(e)),
         )
         stack: list[tuple[Span, float]] = []  # (span, end ts in us)
         for event in events:
-            span = Span(event.get("name", "?"), dict(event.get("args", {})),
+            args = event.get("args")
+            span = Span(str(event.get("name", "?")),
+                        dict(args) if isinstance(args, dict) else {},
                         tid)
+            dur = event.get("dur", 0.0)
+            if not isinstance(dur, (int, float)):
+                dur = 0.0
             span.start = event["ts"] / 1e6
-            span.end = (event["ts"] + event.get("dur", 0.0)) / 1e6
-            ts, end = event["ts"], event["ts"] + event.get("dur", 0.0)
+            span.end = (event["ts"] + dur) / 1e6
+            ts, end = event["ts"], event["ts"] + dur
             # pop regions this event does not fall inside (1us slack for
             # the format's rounding)
             while stack and ts >= stack[-1][1] - 1e-3:
@@ -174,13 +240,36 @@ def tree_summary(roots: list[Span], max_depth: int = 6) -> str:
 
 
 def metrics_summary(metrics: dict) -> str:
-    """Flat rendering of a metrics snapshot (see ``MetricsRegistry``)."""
+    """Flat rendering of a metrics snapshot (see ``MetricsRegistry``).
+
+    Malformed sections raise :class:`ValueError` naming the offending
+    entry (instead of a ``KeyError``/``AttributeError`` traceback), so
+    a hand-edited or older-schema snapshot fails with a diagnostic.
+    """
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"metrics snapshot must be an object, "
+            f"got {type(metrics).__name__}"
+        )
     lines: list[str] = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section, {}), dict):
+            raise ValueError(
+                f"metrics[{section!r}] must be an object, "
+                f"got {type(metrics[section]).__name__}"
+            )
     for name, value in metrics.get("counters", {}).items():
         lines.append(f"{name:<40} {value}")
     for name, value in metrics.get("gauges", {}).items():
         lines.append(f"{name:<40} {value}")
     for name, h in metrics.get("histograms", {}).items():
+        if not isinstance(h, dict) or \
+                any(k not in h for k in ("count", "total", "mean",
+                                         "min", "max")):
+            raise ValueError(
+                f"metrics['histograms'][{name!r}] is malformed "
+                f"(needs count/total/mean/min/max)"
+            )
         lines.append(
             f"{name:<40} n={h['count']} total={h['total']} "
             f"mean={h['mean']} min={h['min']} max={h['max']}"
@@ -199,6 +288,11 @@ def summarize_trace(payload: dict, max_depth: int = 6) -> str:
         tree_summary(roots, max_depth=max_depth),
     ]
     metrics = payload.get("metrics") or {}
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"trace 'metrics' must be an object, "
+            f"got {type(metrics).__name__}"
+        )
     if any(metrics.get(k) for k in ("counters", "gauges", "histograms")):
         parts.append("")
         parts.append("metrics:")

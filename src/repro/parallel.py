@@ -154,22 +154,28 @@ def _run_cluster_task(task: ClusterTask) -> ClusterOutcome:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
-class ParallelRouter:
-    """A per-run process pool that routes cluster tasks.
+class WorkPool:
+    """A lazily-created process pool with per-task degradation.
 
-    Created by :class:`~repro.cts.framework.HierarchicalCTS` when
-    ``FlowConfig.jobs != 1`` and shut down when the run ends; the pool
-    (and its forked worker context) is reused across all levels of the
-    run.  The executor is created lazily on the first batch so a run
-    whose every level is below the fan-out threshold never pays the
-    fork cost.
+    The generic fan-out substrate shared by :class:`ParallelRouter`
+    (per-cluster routing) and :mod:`repro.sweep` (per-point sweep
+    execution).  Tasks must be picklable and the mapped function a
+    module-level callable; the worker context, if any, is installed by
+    ``initializer``.  Every failure mode degrades per task rather than
+    aborting: an unavailable pool, a failed submission, a dead worker or
+    an unpicklable payload each yield ``None`` for the affected tasks,
+    and the caller runs those in-process.
+
+    The executor is created lazily on the first batch, so constructing
+    a pool that never sees work costs nothing; ``fork`` is preferred
+    when available (the initializer context then rides the memory
+    image instead of a pickle round-trip).
     """
 
-    def __init__(self, engine, jobs: int, trace_enabled: bool | None = None):
-        self._engine = engine
+    def __init__(self, jobs: int, initializer=None, initargs: tuple = ()):
         self.jobs = resolve_jobs(jobs)
-        self._trace = TRACER.enabled if trace_enabled is None \
-            else trace_enabled
+        self._initializer = initializer
+        self._initargs = initargs
         self._executor: ProcessPoolExecutor | None = None
         self._dead = False
 
@@ -186,12 +192,12 @@ class ParallelRouter:
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.jobs,
                     mp_context=ctx,
-                    initializer=_init_worker,
-                    initargs=(self._engine, self._trace),
+                    initializer=self._initializer,
+                    initargs=self._initargs,
                 )
             except Exception as exc:  # noqa: BLE001 — degrade, don't abort
                 _LOG.warning("process pool unavailable (%s); "
-                             "falling back to serial routing", exc)
+                             "falling back to in-process execution", exc)
                 self._dead = True
                 return None
         return self._executor
@@ -201,6 +207,64 @@ class ParallelRouter:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
+    def __enter__(self) -> "WorkPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+    # -- mapping --------------------------------------------------------
+    def map(self, fn, tasks: list, describe=str) -> list:
+        """Run ``fn`` over ``tasks``; returns results aligned to tasks.
+
+        A ``None`` entry means that task's worker failed (or the pool
+        is unavailable) and the caller must run it in-process — the
+        per-task degradation contract both the framework and the sweep
+        runner rely on.  ``describe(task)`` labels failure logs.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            return [None] * len(tasks)
+        try:
+            futures = [executor.submit(fn, t) for t in tasks]
+        except Exception as exc:  # noqa: BLE001 — pool already shut/broken
+            _LOG.warning("task submission failed (%s); running the "
+                         "batch in-process", exc)
+            self._dead = True
+            return [None] * len(tasks)
+        results: list = []
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — worker died/unpicklable
+                _LOG.warning("worker failed on %s (%s: %s)",
+                             describe(task), exc.__class__.__name__, exc)
+                results.append(None)
+                if _pool_is_broken(exc):
+                    self._dead = True
+        return results
+
+
+class ParallelRouter:
+    """A per-run process pool that routes cluster tasks.
+
+    Created by :class:`~repro.cts.framework.HierarchicalCTS` when
+    ``FlowConfig.jobs != 1`` and shut down when the run ends; the pool
+    (and its forked worker context) is reused across all levels of the
+    run.  A thin cluster-shaped wrapper over :class:`WorkPool`.
+    """
+
+    def __init__(self, engine, jobs: int, trace_enabled: bool | None = None):
+        trace = TRACER.enabled if trace_enabled is None else trace_enabled
+        self._pool = WorkPool(
+            jobs, initializer=_init_worker, initargs=(engine, trace)
+        )
+        self.jobs = self._pool.jobs
+
+    def shutdown(self) -> None:
+        self._pool.shutdown()
+
     def __enter__(self) -> "ParallelRouter":
         return self
 
@@ -208,37 +272,17 @@ class ParallelRouter:
         self.shutdown()
         return False
 
-    # -- routing --------------------------------------------------------
     def route_clusters(
         self, tasks: list[ClusterTask]
     ) -> list[ClusterOutcome | None]:
         """Route ``tasks``; returns outcomes aligned with ``tasks``.
 
         A ``None`` entry means that task's worker failed (or the pool
-        is unavailable) and the caller must route it serially — the
-        per-task degradation contract the framework relies on.
+        is unavailable) and the caller must route it serially.
         """
-        executor = self._ensure_executor()
-        if executor is None:
-            return [None] * len(tasks)
-        try:
-            futures = [executor.submit(_run_cluster_task, t) for t in tasks]
-        except Exception as exc:  # noqa: BLE001 — pool already shut/broken
-            _LOG.warning("task submission failed (%s); routing the "
-                         "batch serially", exc)
-            self._dead = True
-            return [None] * len(tasks)
-        outcomes: list[ClusterOutcome | None] = []
-        for task, future in zip(tasks, futures):
-            try:
-                outcomes.append(future.result())
-            except Exception as exc:  # noqa: BLE001 — worker died/unpicklable
-                _LOG.warning("worker failed on net %s (%s: %s)",
-                             task.name, exc.__class__.__name__, exc)
-                outcomes.append(None)
-                if _pool_is_broken(exc):
-                    self._dead = True
-        return outcomes
+        return self._pool.map(
+            _run_cluster_task, tasks, describe=lambda t: f"net {t.name}"
+        )
 
 
 def _pool_is_broken(exc: Exception) -> bool:

@@ -1,0 +1,62 @@
+"""repro.sweep — concurrent scenario sweeps with a content-addressed cache.
+
+The batch workload layer over the hierarchical flow: a declarative
+spec (:mod:`repro.sweep.spec`) expands to configuration points, the
+runner (:mod:`repro.sweep.runner`) fans them out over
+:class:`repro.parallel.WorkPool` and lands every result in the
+on-disk content-addressed store (:mod:`repro.sweep.store`), and the
+Pareto module (:mod:`repro.sweep.pareto`) reduces a record set to its
+skew–latency–load trade-off frontier with dominance provenance.
+
+CLI surface: ``repro sweep <spec>`` and ``repro pareto <store>``.
+See docs/SWEEP.md for the spec format, store layout and cache-key
+rules.
+"""
+
+from repro.sweep.pareto import ParetoEntry, ParetoResult, pareto_front
+from repro.sweep.runner import (
+    PointOutcome,
+    PointTask,
+    SweepReport,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_FIELDS,
+    SweepPoint,
+    SweepSpec,
+    load_spec,
+    spec_from_dict,
+    sweepable_keys,
+)
+from repro.sweep.store import (
+    RESULT_SCHEMA_VERSION,
+    SweepStore,
+    canonical_json,
+    load_records,
+    read_jsonl,
+    record_key,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "OBJECTIVE_FIELDS",
+    "ParetoEntry",
+    "ParetoResult",
+    "PointOutcome",
+    "PointTask",
+    "RESULT_SCHEMA_VERSION",
+    "SweepPoint",
+    "SweepReport",
+    "SweepSpec",
+    "SweepStore",
+    "canonical_json",
+    "load_records",
+    "load_spec",
+    "pareto_front",
+    "read_jsonl",
+    "record_key",
+    "run_sweep",
+    "spec_from_dict",
+    "sweepable_keys",
+]

@@ -1,0 +1,130 @@
+"""Pareto-front extraction over sweep records.
+
+The paper's (α, β, γ) knobs trade skew against latency against load;
+a sweep maps that surface point by point, and this module reduces the
+map to its non-dominated frontier.  All objectives are minimised.
+Point ``a`` *dominates* ``b`` when ``a`` is no worse on every objective
+and strictly better on at least one; the front is the set of records no
+other record dominates.
+
+Every entry carries **dominance provenance**: a dominated point names
+the record that eliminated it (``dominated_by`` — the first dominator
+in record order, so provenance is deterministic), and a front point
+lists every record it dominates (``dominates``).  ``n^2`` pairwise
+comparison — sweeps are hundreds of points, not millions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sweep.spec import DEFAULT_OBJECTIVES, OBJECTIVE_FIELDS
+
+
+@dataclass(slots=True)
+class ParetoEntry:
+    """One record's position in the dominance order."""
+
+    key: str                   # the record's store key
+    record: dict               # the full record
+    objectives: dict           # objective name -> value (floats)
+    dominated_by: str | None = None   # key of the first dominator
+    dominates: list[str] = field(default_factory=list)  # keys it beats
+
+    @property
+    def on_front(self) -> bool:
+        return self.dominated_by is None
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "objectives": self.objectives,
+            "on_front": self.on_front,
+            "dominated_by": self.dominated_by,
+            "dominates": list(self.dominates),
+        }
+
+
+@dataclass(slots=True)
+class ParetoResult:
+    """The dominance-annotated record set of one sweep."""
+
+    objectives: tuple[str, ...]
+    entries: list[ParetoEntry]         # every scoreable record, in order
+    skipped: int                       # failed / unscoreable records
+
+    @property
+    def front(self) -> list[ParetoEntry]:
+        return [e for e in self.entries if e.on_front]
+
+    def to_dict(self) -> dict:
+        return {
+            "objectives": list(self.objectives),
+            "front_size": len(self.front),
+            "points": len(self.entries),
+            "skipped": self.skipped,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+def _dominates(a: dict, b: dict, objectives: tuple[str, ...]) -> bool:
+    no_worse = all(a[o] <= b[o] for o in objectives)
+    strictly = any(a[o] < b[o] for o in objectives)
+    return no_worse and strictly
+
+
+def pareto_front(
+    records: list[dict],
+    objectives: tuple[str, ...] = DEFAULT_OBJECTIVES,
+) -> ParetoResult:
+    """Annotate ``records`` with dominance; see the module docstring.
+
+    Records that failed (``status != "ok"``) or lack an objective value
+    are skipped — a degraded point cannot eliminate a healthy one.
+    """
+    for obj in objectives:
+        if obj not in OBJECTIVE_FIELDS:
+            raise ValueError(
+                f"unknown objective {obj!r}; choices: "
+                f"{list(OBJECTIVE_FIELDS)}"
+            )
+    if len(set(objectives)) != len(objectives):
+        raise ValueError(f"duplicate objectives in {list(objectives)}")
+
+    entries: list[ParetoEntry] = []
+    skipped = 0
+    for record in records:
+        quality = record.get("quality") or {}
+        if record.get("status") != "ok" or \
+                any(obj not in quality for obj in objectives):
+            skipped += 1
+            continue
+        entries.append(ParetoEntry(
+            key=str(record.get("key", f"#{len(entries)}")),
+            record=record,
+            objectives={obj: float(quality[obj]) for obj in objectives},
+        ))
+
+    # pass 1: front membership (nothing dominates a front point)
+    front = [
+        b for b in entries
+        if not any(
+            a is not b and _dominates(a.objectives, b.objectives, objectives)
+            for a in entries
+        )
+    ]
+    # pass 2: provenance — each dominated point names its first *front*
+    # dominator in record order (one exists: dominance is transitive),
+    # so provenance never chains through an eliminated point
+    front_keys = {id(e) for e in front}
+    for b in entries:
+        if id(b) in front_keys:
+            continue
+        for a in front:
+            if _dominates(a.objectives, b.objectives, objectives):
+                b.dominated_by = a.key
+                a.dominates.append(b.key)
+                break
+    return ParetoResult(
+        objectives=tuple(objectives), entries=entries, skipped=skipped
+    )

@@ -1,0 +1,337 @@
+"""Concurrent sweep execution with content-addressed caching.
+
+``run_sweep`` expands a :class:`~repro.sweep.spec.SweepSpec`, computes
+every point's cache key — ``(design fingerprint, canonical config
+hash, schema version)`` via :func:`repro.sweep.store.record_key` — and
+partitions the points into cache hits (served straight from the store,
+``sweep.cache.hit``) and misses.  Misses fan out over a
+:class:`repro.parallel.WorkPool` when ``jobs != 1``; every point is a
+self-contained picklable :class:`PointTask` (the worker regenerates the
+design deterministically from its name and scale, so nothing heavy
+crosses the process boundary).
+
+Degradation mirrors the flow itself: *inside* a point the hierarchical
+engine already absorbs faults through flowguard; a point that still
+raises — a broken config, an injected fault, a dead worker — lands as a
+``status: "error"`` record and the sweep continues.  A worker-level
+failure first degrades to in-process execution in the parent (the same
+per-task contract cluster routing uses) before being declared failed.
+Failed points are reported in the sweep's JSONL but never stored in the
+content-addressed records, so the next run retries them.
+
+Observability: the whole run sits under a ``sweep`` span with one
+``sweep.point`` span per executed point (worker spans are adopted home
+stamped ``worker=<pid>``), and the registry carries
+``sweep.cache.hit`` / ``sweep.cache.miss`` / ``sweep.point.ok`` /
+``sweep.point.failed`` counters — the numbers the CI smoke job and the
+determinism tests assert on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cts.constraints import TABLE5, Constraints
+from repro.cts.evaluation import evaluate_result
+from repro.cts.framework import HierarchicalCTS
+from repro.cts.stats import tree_statistics
+from repro.designs import design_fingerprint, load_design
+from repro.flowguard.faults import FaultInjected, FaultInjector
+from repro.obs.clock import now
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER, Span
+from repro.parallel import WorkPool
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.store import RESULT_SCHEMA_VERSION, SweepStore, record_key
+from repro.tech import Technology
+from repro.tech.buffer_library import load_library
+
+_LOG = get_logger("sweep")
+
+#: Quality fields every successful record carries (the objective space).
+QUALITY_FIELDS = (
+    "skew_ps", "latency_ps", "wirelength_um", "num_buffers",
+    "buffer_area_um2", "clock_cap_ff", "max_stage_load_ff",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PointTask:
+    """One sweep point to execute: self-contained and picklable."""
+
+    point: SweepPoint
+    fingerprint: str           # design content hash (cache-key half)
+    key: str                   # full content-addressed record key
+    inject_fault: bool = False  # deterministic per-point fault injection
+
+
+@dataclass(slots=True)
+class PointOutcome:
+    """What executing one point produced (worker or in-process)."""
+
+    index: int
+    record: dict
+    runtime_s: float
+    metrics: dict | None = None       # worker's raw registry snapshot
+    spans: list[Span] = field(default_factory=list)
+    worker: int = 0
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Summary of one ``run_sweep`` invocation."""
+
+    spec: SweepSpec
+    points: list[SweepPoint]
+    records: list[dict]        # one per point, in point-index order
+    runtime_by_index: dict[int, float]
+    cache_hits: int
+    cache_misses: int
+    failed: int
+    runtime_s: float
+    jsonl_path: Path           # the written sweep JSONL
+    cached_indices: frozenset[int] = frozenset()
+
+    @property
+    def executed(self) -> int:
+        return self.cache_misses
+
+    def summary(self) -> str:
+        return (
+            f"sweep {self.spec.name!r}: {len(self.points)} points, "
+            f"{self.cache_hits} cached, {self.cache_misses} executed, "
+            f"{self.failed} failed in {self.runtime_s:.2f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Point execution (both the parent's serial path and the workers)
+# ----------------------------------------------------------------------
+def _execute_point(point: SweepPoint) -> tuple[dict, dict]:
+    """Run the flow at one point; returns (quality, flow_events).
+
+    The design regenerates deterministically from the catalog, so a
+    worker needs nothing but the point itself.
+    """
+    tech = Technology()
+    design = load_design(point.design, scale=point.scale)
+    constraints = Constraints(
+        skew_bound=point.skew_bound,
+        max_fanout=TABLE5.max_fanout,
+        max_cap=TABLE5.max_cap,
+        max_length=TABLE5.max_length,
+        max_slew=TABLE5.max_slew,
+    )
+    engine = HierarchicalCTS(
+        tech=tech,
+        library=load_library(point.library),
+        constraints=constraints,
+        config=point.flow_config(),
+    )
+    result = engine.run(design.sinks, design.source)
+    report = evaluate_result(result, tech)
+    stats = tree_statistics(result.tree, tech)
+    quality = {
+        "skew_ps": report.skew_ps,
+        "latency_ps": report.latency_ps,
+        "wirelength_um": report.clock_wl_um,
+        "num_buffers": int(report.num_buffers),
+        "buffer_area_um2": report.buffer_area_um2,
+        "clock_cap_ff": report.clock_cap_ff,
+        "max_stage_load_ff": stats.max_stage_load,
+    }
+    events = result.diagnostics.event_breakdown() \
+        if result.diagnostics is not None else {"total": 0}
+    return quality, events
+
+
+def _base_record(task: PointTask) -> dict:
+    point = task.point
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "key": task.key,
+        "design": point.design,
+        "scale": point.scale,
+        "fingerprint": task.fingerprint,
+        "index": point.index,
+        "config": point.canonical_config(),
+    }
+
+
+def compute_record(task: PointTask) -> PointOutcome:
+    """Execute ``task`` and build its canonical record.
+
+    Never raises: any exception (including an injected fault) becomes a
+    ``status: "error"`` record — one failing config must not kill the
+    sweep.  The record carries no wall-clock data; the measured runtime
+    rides on the outcome for reporting only, keeping stored bytes
+    deterministic across machines and ``--jobs`` settings.
+    """
+    point = task.point
+    t0 = now()
+    record = _base_record(task)
+    with TRACER.span("sweep.point", index=point.index, design=point.design,
+                     key=task.key[:12]):
+        try:
+            if task.inject_fault:
+                raise FaultInjected(
+                    f"injected sweep fault at point {point.index}"
+                )
+            quality, events = _execute_point(point)
+            record.update(status="ok", error=None, quality=quality,
+                          flow_events=events)
+        except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+            _LOG.warning("sweep point %s failed (%s: %s)",
+                         point.label(), exc.__class__.__name__, exc)
+            record.update(
+                status="error",
+                error={"type": exc.__class__.__name__, "detail": str(exc)},
+                quality=None,
+                flow_events=None,
+            )
+    return PointOutcome(
+        index=point.index, record=record, runtime_s=now() - t0
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side (mirrors repro.parallel's cluster workers)
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _init_sweep_worker(trace_enabled: bool) -> None:
+    _WORKER["trace"] = trace_enabled
+    TRACER.reset()
+    TRACER.disable()
+    METRICS.reset()
+    METRICS.begin_event_log()
+
+
+def _run_point_worker(task: PointTask) -> PointOutcome:
+    """Execute one point inside a worker process.
+
+    Runs against task-local metrics and tracer state (reset per task)
+    and ships both home on the outcome, so the parent's registry and
+    span forest end up equivalent to a serial run's.
+    """
+    trace = _WORKER.get("trace", False)
+    METRICS.reset()
+    TRACER.reset()
+    TRACER.enabled = trace
+    try:
+        outcome = compute_record(task)
+    finally:
+        TRACER.enabled = False
+    outcome.metrics = METRICS.raw_snapshot()
+    outcome.spans = list(TRACER.roots) if trace else []
+    outcome.worker = os.getpid()
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def run_sweep(
+    spec: SweepSpec,
+    store: SweepStore,
+    jobs: int = 1,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+) -> SweepReport:
+    """Run every point of ``spec`` through ``store`` (see module doc).
+
+    ``jobs`` is the sweep-level fan-out (each point may additionally
+    set ``FlowConfig.jobs`` for within-point cluster parallelism).
+    ``fault_rate``/``fault_seed`` drive the deterministic per-point
+    fault injection the robustness tests use.
+    """
+    t0 = now()
+    points = spec.expand()
+    injector = FaultInjector(fault_rate, seed=fault_seed, name="sweep") \
+        if fault_rate > 0 else None
+
+    with TRACER.span("sweep", spec=spec.name, points=len(points),
+                     jobs=jobs):
+        records: dict[int, dict] = {}
+        runtime_by_index: dict[int, float] = {}
+        tasks: list[PointTask] = []
+        hit_indices: set[int] = set()
+        for point in points:
+            fingerprint = design_fingerprint(point.design, point.scale)
+            key = record_key(fingerprint, point.canonical_config())
+            cached = store.get(key)
+            if cached is not None:
+                METRICS.inc("sweep.cache.hit")
+                # re-anchor the cached record at this sweep's index (the
+                # same content can sit at different positions in
+                # different specs); content fields stay untouched
+                cached = dict(cached)
+                cached["index"] = point.index
+                records[point.index] = cached
+                runtime_by_index[point.index] = 0.0
+                hit_indices.add(point.index)
+            else:
+                METRICS.inc("sweep.cache.miss")
+                tasks.append(PointTask(
+                    point=point,
+                    fingerprint=fingerprint,
+                    key=key,
+                    inject_fault=injector.trip() if injector else False,
+                ))
+        _LOG.info("sweep %r: %d points, %d cached, %d to run",
+                  spec.name, len(points), len(records), len(tasks))
+
+        outcomes: list[PointOutcome | None]
+        if jobs != 1 and len(tasks) > 1:
+            with WorkPool(jobs, initializer=_init_sweep_worker,
+                          initargs=(TRACER.enabled,)) as pool:
+                outcomes = pool.map(
+                    _run_point_worker, tasks,
+                    describe=lambda t: t.point.label(),
+                )
+        else:
+            outcomes = [None] * len(tasks)
+
+        failed = 0
+        for task, outcome in zip(tasks, outcomes):
+            if outcome is None:
+                # pool unavailable or the worker died: degrade to
+                # in-process execution, the same per-task contract
+                # cluster routing uses
+                outcome = compute_record(task)
+            else:
+                if outcome.metrics is not None:
+                    METRICS.merge_raw(outcome.metrics)
+                if TRACER.enabled and outcome.spans:
+                    TRACER.adopt(outcome.spans, tid=outcome.worker,
+                                 worker=outcome.worker)
+            record = outcome.record
+            if record["status"] == "ok":
+                METRICS.inc("sweep.point.ok")
+                store.put(task.key, record)
+            else:
+                METRICS.inc("sweep.point.failed")
+                failed += 1
+            records[task.point.index] = record
+            runtime_by_index[task.point.index] = outcome.runtime_s
+
+    ordered = [records[p.index] for p in points]
+    jsonl_path = store.write_sweep(spec.name, spec.digest(), ordered)
+    report = SweepReport(
+        spec=spec,
+        points=points,
+        records=ordered,
+        runtime_by_index=runtime_by_index,
+        cache_hits=len(points) - len(tasks),
+        cache_misses=len(tasks),
+        failed=failed,
+        runtime_s=now() - t0,
+        jsonl_path=jsonl_path,
+        cached_indices=frozenset(hit_indices),
+    )
+    _LOG.info("%s", report.summary())
+    return report

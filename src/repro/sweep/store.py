@@ -1,0 +1,187 @@
+"""The on-disk, content-addressed sweep result store.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      records/<key>.json            one canonical record per point
+      sweeps/<name>-<digest12>.jsonl  ordered records of a sweep run
+
+A record's ``key`` is the hex sha256 of the canonical JSON of
+
+    {"store_schema": RESULT_SCHEMA_VERSION,
+     "design": <design fingerprint>,
+     "config": <canonical knob dict>}
+
+— the (design fingerprint, canonical config hash, code/schema version)
+triple.  Identical content always lands at the same path, so a re-run
+of any spec that covers a stored point is a cache hit, and a sweep
+interrupted halfway resumes for free: the completed points are already
+in ``records/``.
+
+Records are **canonical bytes**: serialised with sorted keys and
+compact separators, carrying no wall-clock times, hostnames or
+timestamps — the same point computed on any machine, serially or under
+any ``--jobs``, produces byte-identical files (the determinism contract
+``tests/sweep/test_determinism.py`` pins).  Writes are atomic
+(temp file + rename), so a killed sweep never leaves a torn record.
+
+Only successful records are content-addressed; failed points ride in
+the sweep's JSONL for reporting but are retried on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.obs.logcfg import get_logger
+
+_LOG = get_logger("sweep")
+
+#: Bumped whenever the record layout or the flow semantics behind it
+#: change; part of every cache key, so stale records are never reused.
+RESULT_SCHEMA_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """The one JSON encoding records and keys use (stable bytes)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def record_key(design_fingerprint: str, canonical_config: dict) -> str:
+    """Cache key of one sweep point (hex sha256)."""
+    payload = canonical_json({
+        "store_schema": RESULT_SCHEMA_VERSION,
+        "design": design_fingerprint,
+        "config": canonical_config,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepStore:
+    """Filesystem store of sweep records (see module docstring)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._records = self.root / "records"
+        self._sweeps = self.root / "sweeps"
+
+    # ------------------------------------------------------------------
+    # Point records
+    # ------------------------------------------------------------------
+    def record_path(self, key: str) -> Path:
+        return self._records / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None (miss).
+
+        A corrupt record file is treated as a miss (and logged): the
+        point recomputes and the atomic rewrite replaces the damage —
+        the store self-heals instead of wedging the sweep.
+        """
+        path = self.record_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            _LOG.warning("corrupt record %s (%s); treating as a miss",
+                         path.name, exc)
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            _LOG.warning("record %s does not match its key; "
+                         "treating as a miss", path.name)
+            return None
+        return record
+
+    def put(self, key: str, record: dict) -> Path:
+        """Atomically persist ``record`` under ``key``."""
+        self._records.mkdir(parents=True, exist_ok=True)
+        path = self.record_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(record) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def keys(self) -> list[str]:
+        """Every stored record key, sorted."""
+        if not self._records.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self._records.glob("*.json")
+        )
+
+    def records(self) -> list[dict]:
+        """Every stored record, in sorted-key order."""
+        out = []
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                out.append(record)
+        return out
+
+    # ------------------------------------------------------------------
+    # Sweep run files (ordered JSONL)
+    # ------------------------------------------------------------------
+    def sweep_path(self, name: str, digest: str) -> Path:
+        return self._sweeps / f"{name}-{digest[:12]}.jsonl"
+
+    def write_sweep(
+        self, name: str, digest: str, records: list[dict]
+    ) -> Path:
+        """Write a sweep run's ordered records as canonical JSONL."""
+        self._sweeps.mkdir(parents=True, exist_ok=True)
+        path = self.sweep_path(name, digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            "".join(canonical_json(r) + "\n" for r in records)
+        )
+        os.replace(tmp, path)
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Read a sweep JSONL file; typed ValueError on malformed input."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"{path}: cannot read sweep records ({exc})") \
+            from exc
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON ({exc})"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: record must be a JSON object"
+            )
+        records.append(record)
+    return records
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Records from either a store root or a single JSONL file.
+
+    A directory is treated as a store root (all content-addressed
+    records, sorted by key); a file as one sweep's JSONL.
+    """
+    path = Path(path)
+    if path.is_dir():
+        records = SweepStore(path).records()
+        if not records:
+            raise ValueError(f"{path}: no sweep records found "
+                             f"(empty or not a sweep store)")
+        return records
+    return read_jsonl(path)

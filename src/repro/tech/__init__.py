@@ -11,7 +11,14 @@ those coefficients.  See DESIGN.md for the substitution rationale.
 """
 
 from repro.tech.technology import RC_TO_PS, Technology
-from repro.tech.buffer_library import BufferLibrary, BufferType, default_library
+from repro.tech.buffer_library import (
+    BufferLibrary,
+    BufferType,
+    default_library,
+    lean_library,
+    library_names,
+    load_library,
+)
 
 __all__ = [
     "RC_TO_PS",
@@ -19,4 +26,7 @@ __all__ = [
     "BufferType",
     "Technology",
     "default_library",
+    "lean_library",
+    "library_names",
+    "load_library",
 ]

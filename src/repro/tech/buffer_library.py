@@ -117,3 +117,37 @@ def default_library() -> BufferLibrary:
                        omega_c=0.11, omega_i=16.0, area=1.80, max_cap=380.0),
         ]
     )
+
+
+def lean_library() -> BufferLibrary:
+    """A two-size subset of the default family (X2 / X8 only).
+
+    The constrained-library point of a sweep: fewer drive choices force
+    the buffering stage into longer repeater chains and coarser driver
+    sizing, trading load for latency — the axis the paper's load knob
+    explores.
+    """
+    full = {b.name: b for b in default_library()}
+    return BufferLibrary([full["CLKBUF_X2"], full["CLKBUF_X8"]])
+
+
+#: Named library choices a sweep spec (or CLI) can select.
+LIBRARIES = {
+    "default": default_library,
+    "lean": lean_library,
+}
+
+
+def library_names() -> list[str]:
+    return sorted(LIBRARIES)
+
+
+def load_library(name: str) -> BufferLibrary:
+    """Build the named library; unknown names raise ``KeyError``."""
+    try:
+        factory = LIBRARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown buffer library {name!r}; choices: {library_names()}"
+        ) from None
+    return factory()

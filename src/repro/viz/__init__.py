@@ -1,5 +1,15 @@
 """Visualisation: render routed clock trees to SVG (no plotting deps)."""
 
-from repro.viz.svg import render_svg, save_svg
+from repro.viz.svg import (
+    render_scatter_svg,
+    render_svg,
+    save_scatter_svg,
+    save_svg,
+)
 
-__all__ = ["render_svg", "save_svg"]
+__all__ = [
+    "render_scatter_svg",
+    "render_svg",
+    "save_scatter_svg",
+    "save_svg",
+]

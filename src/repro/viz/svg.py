@@ -97,6 +97,214 @@ def save_svg(tree: RoutedTree, path: str | Path, **kwargs) -> None:
     Path(path).write_text(render_svg(tree, **kwargs))
 
 
+# ----------------------------------------------------------------------
+# Pareto scatter (repro pareto --svg)
+# ----------------------------------------------------------------------
+# Two-class categorical pair, validated for CVD separation, chroma and
+# contrast against the #fdfdfb surface; identity is additionally carried
+# by shape and size (front = large diamonds + staircase, dominated =
+# small circles), never by color alone.
+_FRONT_COLOR = "#c1121f"
+_DOM_COLOR = "#1d6fa8"
+_INK = "#343a40"
+_MUTED_INK = "#6c757d"
+_GRID = "#e4e6e8"
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """~n round tick positions covering [lo, hi]."""
+    import math
+
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mag * mult
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * step:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def render_scatter_svg(
+    points: list[tuple[float, float, bool, str]],
+    x_label: str,
+    y_label: str,
+    title: str | None = None,
+    width: int = 640,
+    height: int = 480,
+) -> str:
+    """Render a Pareto scatter as an SVG document string.
+
+    ``points`` is ``(x, y, on_front, label)`` per record; front points
+    draw as large filled diamonds joined by the dominance staircase and
+    carry direct labels, dominated points as small circles.  Every mark
+    embeds a ``<title>`` so hovering in any SVG viewer names the point.
+    Same dependency-free string assembly as :func:`render_svg`.
+    """
+    if not points:
+        raise ValueError("scatter needs at least one point")
+    m_left, m_right, m_top, m_bottom = 64, 16, 40 if title else 16, 48
+    plot_w = width - m_left - m_right
+    plot_h = height - m_top - m_bottom
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = (x_hi - x_lo) * 0.08 or max(abs(x_hi), 1.0) * 0.05
+    y_pad = (y_hi - y_lo) * 0.08 or max(abs(y_hi), 1.0) * 0.05
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    def sx(x: float) -> float:
+        return m_left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return m_top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace">',
+        f'<rect width="{width}" height="{height}" fill="#fdfdfb"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="22" text-anchor="middle" '
+            f'font-size="14" fill="{_INK}">{_escape(title)}</text>'
+        )
+
+    # recessive grid + tick labels
+    for t in _nice_ticks(x_lo, x_hi):
+        if not x_lo <= t <= x_hi:
+            continue
+        x = sx(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{m_top}" x2="{x:.1f}" '
+            f'y2="{m_top + plot_h}" stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{m_top + plot_h + 16}" '
+            f'text-anchor="middle" font-size="10" '
+            f'fill="{_MUTED_INK}">{_fmt_tick(t)}</text>'
+        )
+    for t in _nice_ticks(y_lo, y_hi):
+        if not y_lo <= t <= y_hi:
+            continue
+        y = sy(t)
+        parts.append(
+            f'<line x1="{m_left}" y1="{y:.1f}" x2="{m_left + plot_w}" '
+            f'y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{m_left - 6}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-size="10" fill="{_MUTED_INK}">{_fmt_tick(t)}</text>'
+        )
+    parts.append(
+        f'<rect x="{m_left}" y="{m_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="{_MUTED_INK}" '
+        f'stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{m_left + plot_w / 2:.1f}" y="{height - 10}" '
+        f'text-anchor="middle" font-size="12" '
+        f'fill="{_INK}">{_escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{m_top + plot_h / 2:.1f}" text-anchor="middle" '
+        f'font-size="12" fill="{_INK}" transform="rotate(-90 16 '
+        f'{m_top + plot_h / 2:.1f})">{_escape(y_label)}</text>'
+    )
+
+    # the dominance staircase through the front (minimisation: sorted by
+    # x, each step holds y until the next front point improves it)
+    front = sorted(
+        [p for p in points if p[2]], key=lambda p: (p[0], p[1])
+    )
+    if len(front) > 1:
+        path = [f"M {sx(front[0][0]):.1f} {sy(front[0][1]):.1f}"]
+        for prev, cur in zip(front, front[1:]):
+            path.append(f"L {sx(cur[0]):.1f} {sy(prev[1]):.1f}")
+            path.append(f"L {sx(cur[0]):.1f} {sy(cur[1]):.1f}")
+        parts.append(
+            f'<path d="{" ".join(path)}" fill="none" '
+            f'stroke="{_FRONT_COLOR}" stroke-width="1.5" '
+            f'stroke-dasharray="5 3" opacity="0.7"/>'
+        )
+
+    # dominated first (under), front on top; 2px surface ring on every
+    # mark keeps overlapping points separable
+    for x, y, on_front, label in points:
+        if on_front:
+            continue
+        parts.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+            f'fill="{_DOM_COLOR}" stroke="#fdfdfb" stroke-width="2">'
+            f'<title>{_escape(label)}</title></circle>'
+        )
+    for x, y, on_front, label in points:
+        if not on_front:
+            continue
+        cx, cy = sx(x), sy(y)
+        r = 6.5
+        pts = f"{cx:.1f},{cy - r:.1f} {cx + r:.1f},{cy:.1f} " \
+              f"{cx:.1f},{cy + r:.1f} {cx - r:.1f},{cy:.1f}"
+        parts.append(
+            f'<polygon points="{pts}" fill="{_FRONT_COLOR}" '
+            f'stroke="#fdfdfb" stroke-width="2">'
+            f'<title>{_escape(label)}</title></polygon>'
+        )
+        short = label.split(":", 1)[0].split("[", 1)[0]
+        # flip the label to the left of the marker near the right edge
+        # so it cannot overflow the canvas
+        if cx > width - m_right - 6.5 * len(short) - 12:
+            lx_txt, anchor = cx - 9, "end"
+        else:
+            lx_txt, anchor = cx + 9, "start"
+        parts.append(
+            f'<text x="{lx_txt:.1f}" y="{cy - 7:.1f}" font-size="10" '
+            f'text-anchor="{anchor}" fill="{_INK}">{_escape(short)}</text>'
+        )
+
+    # legend (two series, so always present)
+    lx, ly = m_left + 10, m_top + 14
+    parts.append(
+        f'<polygon points="{lx},{ly - 5} {lx + 5},{ly} {lx},{ly + 5} '
+        f'{lx - 5},{ly}" fill="{_FRONT_COLOR}"/>'
+        f'<text x="{lx + 10}" y="{ly + 3}" font-size="10" '
+        f'fill="{_INK}">Pareto front</text>'
+    )
+    parts.append(
+        f'<circle cx="{lx}" cy="{ly + 16}" r="4" fill="{_DOM_COLOR}"/>'
+        f'<text x="{lx + 10}" y="{ly + 19}" font-size="10" '
+        f'fill="{_INK}">dominated</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_scatter_svg(
+    points: list[tuple[float, float, bool, str]],
+    path: str | Path,
+    **kwargs,
+) -> None:
+    """Render a Pareto scatter and write it to ``path``."""
+    Path(path).write_text(render_scatter_svg(points, **kwargs))
+
+
 def _escape(text: str) -> str:
     return (
         text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

@@ -1,0 +1,43 @@
+"""FlowConfig canonical serialisation: round-trip and stable digest."""
+
+import pytest
+
+from repro.cts.framework import FlowConfig
+
+
+def test_round_trip_is_lossless():
+    config = FlowConfig(eps=0.25, seed=7, use_sa=False, jobs=4)
+    again = FlowConfig.from_dict(config.to_dict())
+    assert again.to_dict() == config.to_dict()
+    assert again == config
+
+
+def test_partial_dict_fills_defaults():
+    config = FlowConfig.from_dict({"eps": 0.5})
+    assert config.eps == 0.5
+    assert config.seed == FlowConfig().seed
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ValueError, match="unknown FlowConfig field"):
+        FlowConfig.from_dict({"epsilon": 0.5})
+
+
+def test_callable_fields_cannot_serialise():
+    config = FlowConfig(router=lambda *a, **k: None)
+    with pytest.raises(ValueError, match="router"):
+        config.to_dict()
+
+
+def test_digest_stable_and_type_normalised():
+    # int-vs-float spellings of the same knob hash identically
+    a = FlowConfig.from_dict({"eps": 1, "seed": 3})
+    b = FlowConfig.from_dict({"eps": 1.0, "seed": 3})
+    assert a.digest() == b.digest()
+    assert a.to_dict()["eps"] == 1.0
+    assert FlowConfig().digest() != a.digest()
+    assert len(FlowConfig().digest()) == 64  # hex sha256
+
+
+def test_digest_matches_equal_configs():
+    assert FlowConfig(eps=0.3).digest() == FlowConfig(eps=0.3).digest()

@@ -6,6 +6,7 @@ import pytest
 
 from repro.designs import (
     TABLE4_SPECS,
+    design_fingerprint,
     design_names,
     generate_design,
     load_design,
@@ -68,6 +69,15 @@ def test_scale_validation():
 def test_unknown_design():
     with pytest.raises(KeyError):
         load_design("nope")
+
+
+def test_fingerprint_identifies_design_content():
+    a = design_fingerprint("s38584", 0.05)
+    assert a == load_design("s38584", scale=0.05).fingerprint()
+    assert a == design_fingerprint("s38584", 0.05)  # memoised, stable
+    assert a != design_fingerprint("s38584", 0.06)  # scale-sensitive
+    assert a != design_fingerprint("s38417", 0.05)  # design-sensitive
+    assert len(a) == 64  # hex sha256
 
 
 def test_sinks_are_clustered():

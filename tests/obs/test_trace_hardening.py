@@ -1,0 +1,98 @@
+"""Malformed / older-schema trace payloads fail with typed errors.
+
+``repro trace`` must exit 2 with one diagnostic line for any damaged
+input — never a traceback (``load_trace`` and the summarisers raise
+``ValueError`` with the path and offending location in the message).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    metrics_summary,
+    spans_from_trace,
+    summarize_trace,
+)
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.mark.parametrize("payload, match", [
+    ({"traceEvents": "nope"}, "'traceEvents' must be a list"),
+    ({"traceEvents": [42]}, r"traceEvents\[0\] must be an object"),
+    ({"traceEvents": [{"ph": "X", "name": "a"}]}, "numeric 'ts'"),
+    ({"traceEvents": [{"ph": "X", "ts": "soon"}]}, "numeric 'ts'"),
+    ({"traceEvents": [{"ph": "X", "ts": 0, "dur": "x"}]},
+     "'dur' must be numeric"),
+    ({"traceEvents": [], "metrics": [1, 2]}, "'metrics' must be an object"),
+    ({"traceEvents": [], "schema_version": "v1"},
+     "'schema_version' must be an integer"),
+    ({"traceEvents": [], "schema_version": TRACE_SCHEMA_VERSION + 1},
+     "newer than this build"),
+    ({}, "missing 'traceEvents'"),
+    ([], "missing 'traceEvents'"),
+])
+def test_load_trace_rejects_malformed_payloads(tmp_path, payload, match):
+    with pytest.raises(ValueError, match=match):
+        load_trace(_write(tmp_path, payload))
+
+
+def test_load_trace_errors_name_the_file(tmp_path):
+    path = _write(tmp_path, {"traceEvents": [None]})
+    with pytest.raises(ValueError, match="trace.json"):
+        load_trace(path)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ValueError, match="bad.json.*not valid JSON"):
+        load_trace(bad)
+    with pytest.raises(ValueError, match="cannot read"):
+        load_trace(tmp_path / "missing.json")
+
+
+def test_legacy_trace_without_schema_version_loads(tmp_path):
+    # PR-3 era traces carried no schema_version; they must keep loading
+    payload = {"traceEvents": [
+        {"ph": "X", "name": "flow", "ts": 0, "dur": 100.0},
+    ]}
+    loaded = load_trace(_write(tmp_path, payload))
+    assert "flow" in summarize_trace(loaded)
+
+
+def test_foreign_phases_and_missing_optionals_are_tolerated():
+    payload = {"traceEvents": [
+        {"ph": "M", "name": "process_name"},          # metadata: no ts
+        {"ph": "X", "ts": 0, "dur": 10.0},            # no name, no args
+        {"ph": "X", "ts": 1, "dur": 2.0, "tid": "T"},  # non-int tid
+        {"ph": "B", "ts": 5},                          # begin/end pairs
+    ]}
+    roots = spans_from_trace(payload)
+    assert len(roots) >= 1
+    assert roots[0].name == "?"
+
+
+def test_spans_from_trace_typed_error_without_ts():
+    with pytest.raises(ValueError, match="numeric 'ts'"):
+        spans_from_trace({"traceEvents": [{"ph": "X", "name": "x"}]})
+
+
+def test_metrics_summary_typed_errors():
+    with pytest.raises(ValueError, match="must be an object"):
+        metrics_summary([1, 2])
+    with pytest.raises(ValueError, match=r"metrics\['counters'\]"):
+        metrics_summary({"counters": [1]})
+    with pytest.raises(ValueError, match="histograms.*malformed"):
+        metrics_summary({"histograms": {"x": {"count": 3}}})
+    with pytest.raises(ValueError, match="histograms.*malformed"):
+        metrics_summary({"histograms": {"x": "nope"}})
+
+
+def test_summarize_trace_rejects_non_dict_metrics():
+    with pytest.raises(ValueError, match="must be an object"):
+        summarize_trace({"traceEvents": [], "metrics": [1]})

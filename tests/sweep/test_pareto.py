@@ -1,0 +1,88 @@
+"""Pareto dominance, provenance anchoring and degradation handling."""
+
+import pytest
+
+from repro.sweep import pareto_front
+
+
+def _rec(key, skew, latency, status="ok"):
+    return {
+        "key": key,
+        "status": status,
+        "quality": {"skew_ps": skew, "latency_ps": latency},
+    }
+
+
+OBJ = ("skew_ps", "latency_ps")
+
+
+def test_front_membership():
+    records = [
+        _rec("a", 1.0, 10.0),   # front
+        _rec("b", 2.0, 5.0),    # front (trades skew for latency)
+        _rec("c", 2.0, 12.0),   # dominated by a
+        _rec("d", 3.0, 6.0),    # dominated by b
+    ]
+    result = pareto_front(records, objectives=OBJ)
+    assert [e.key for e in result.front] == ["a", "b"]
+    assert result.skipped == 0
+
+
+def test_provenance_names_a_front_point():
+    # c is dominated by b which is dominated by a: c's provenance must
+    # anchor to the *front* (a), never to the eliminated middle (b)
+    records = [
+        _rec("a", 1.0, 1.0),
+        _rec("b", 2.0, 2.0),
+        _rec("c", 3.0, 3.0),
+    ]
+    result = pareto_front(records, objectives=OBJ)
+    by_key = {e.key: e for e in result.entries}
+    assert by_key["a"].on_front
+    assert by_key["b"].dominated_by == "a"
+    assert by_key["c"].dominated_by == "a"
+    assert by_key["a"].dominates == ["b", "c"]
+
+
+def test_ties_do_not_dominate_each_other():
+    records = [_rec("a", 1.0, 1.0), _rec("b", 1.0, 1.0)]
+    result = pareto_front(records, objectives=OBJ)
+    assert len(result.front) == 2
+
+
+def test_failed_records_are_skipped_not_ranked():
+    records = [
+        _rec("a", 5.0, 5.0),
+        _rec("dead", 0.0, 0.0, status="error"),  # would dominate if ranked
+    ]
+    result = pareto_front(records, objectives=OBJ)
+    assert [e.key for e in result.front] == ["a"]
+    assert result.skipped == 1
+
+
+def test_missing_objective_value_is_skipped():
+    records = [
+        _rec("a", 1.0, 1.0),
+        {"key": "partial", "status": "ok", "quality": {"skew_ps": 0.1}},
+    ]
+    result = pareto_front(records, objectives=OBJ)
+    assert [e.key for e in result.front] == ["a"]
+    assert result.skipped == 1
+
+
+def test_unknown_and_duplicate_objectives_rejected():
+    with pytest.raises(ValueError, match="unknown objective"):
+        pareto_front([], objectives=("bogus",))
+    with pytest.raises(ValueError, match="duplicate"):
+        pareto_front([], objectives=("skew_ps", "skew_ps"))
+
+
+def test_to_dict_shape():
+    result = pareto_front(
+        [_rec("a", 1.0, 1.0), _rec("b", 2.0, 2.0)], objectives=OBJ
+    )
+    data = result.to_dict()
+    assert data["front_size"] == 1
+    assert data["points"] == 2
+    assert data["entries"][0]["on_front"] is True
+    assert data["entries"][1]["dominated_by"] == "a"

@@ -1,0 +1,120 @@
+"""End-to-end sweep runs: determinism, caching, fault degradation.
+
+The determinism contract: the stored records and the sweep JSONL are
+byte-identical whether points run serially or under sweep-level
+``jobs=2``, and a second run recomputes nothing (served entirely from
+the content-addressed store).
+"""
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.sweep import SweepSpec, SweepStore, pareto_front, run_sweep
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="unit",
+        designs=["s38584"],
+        scales=[0.02],
+        grid={"eps": [0.1, 1.0], "seed": [0, 1]},
+    )
+
+
+def _store_bytes(root) -> dict:
+    store = SweepStore(root)
+    return {
+        key: store.record_path(key).read_bytes() for key in store.keys()
+    }
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+def test_serial_and_parallel_runs_are_byte_identical(tmp_path):
+    serial = run_sweep(_spec(), SweepStore(tmp_path / "serial"), jobs=1)
+    parallel = run_sweep(_spec(), SweepStore(tmp_path / "par"), jobs=2)
+
+    assert serial.failed == parallel.failed == 0
+    assert _store_bytes(tmp_path / "serial") == _store_bytes(tmp_path / "par")
+    assert serial.jsonl_path.read_bytes() == parallel.jsonl_path.read_bytes()
+
+    front_a = [e.key for e in pareto_front(serial.records).front]
+    front_b = [e.key for e in pareto_front(parallel.records).front]
+    assert front_a == front_b
+    assert front_a  # non-empty
+
+
+def test_second_run_is_pure_cache(tmp_path):
+    store = SweepStore(tmp_path)
+    first = run_sweep(_spec(), store, jobs=1)
+    assert first.cache_hits == 0
+    assert first.cache_misses == len(first.points) == 4
+    first_bytes = first.jsonl_path.read_bytes()
+
+    METRICS.reset()
+    second = run_sweep(_spec(), store, jobs=1)
+    assert second.cache_hits == 4
+    assert second.cache_misses == 0
+    assert second.cached_indices == frozenset(range(4))
+    assert METRICS.counter("sweep.cache.hit") == 4
+    assert METRICS.counter("sweep.cache.miss") == 0
+    assert second.jsonl_path.read_bytes() == first_bytes
+
+
+def test_cached_points_reindex_under_a_different_spec(tmp_path):
+    store = SweepStore(tmp_path)
+    run_sweep(_spec(), store, jobs=1)
+    # same points, different expansion order -> indices re-anchor
+    reordered = SweepSpec(
+        name="unit-reordered",
+        designs=["s38584"],
+        scales=[0.02],
+        grid={"seed": [1, 0], "eps": [1.0, 0.1]},
+    )
+    report = run_sweep(reordered, store, jobs=1)
+    assert report.cache_hits == 4
+    assert [r["index"] for r in report.records] == [0, 1, 2, 3]
+
+
+def test_one_failing_point_does_not_kill_the_sweep(tmp_path):
+    store = SweepStore(tmp_path)
+    report = run_sweep(
+        _spec(), store, jobs=1, fault_rate=0.5, fault_seed=7
+    )
+    assert len(report.records) == 4
+    assert 0 < report.failed < 4
+    statuses = {r["status"] for r in report.records}
+    assert statuses == {"ok", "error"}
+    failed = [r for r in report.records if r["status"] == "error"]
+    assert all(r["error"]["type"] == "FaultInjected" for r in failed)
+    # only the healthy points were content-addressed ...
+    assert len(store.keys()) == 4 - report.failed
+    # ... so a clean rerun retries exactly the failed ones
+    METRICS.reset()
+    retry = run_sweep(_spec(), store, jobs=1)
+    assert retry.cache_hits == 4 - report.failed
+    assert retry.cache_misses == report.failed
+    assert retry.failed == 0
+
+
+def test_fault_pattern_is_independent_of_jobs(tmp_path):
+    a = run_sweep(_spec(), SweepStore(tmp_path / "a"), jobs=1,
+                  fault_rate=0.5, fault_seed=3)
+    b = run_sweep(_spec(), SweepStore(tmp_path / "b"), jobs=2,
+                  fault_rate=0.5, fault_seed=3)
+    fails_a = [r["index"] for r in a.records if r["status"] == "error"]
+    fails_b = [r["index"] for r in b.records if r["status"] == "error"]
+    assert fails_a == fails_b
+    assert a.jsonl_path.read_bytes() == b.jsonl_path.read_bytes()
+
+
+def test_sweep_metrics_are_recorded(tmp_path):
+    report = run_sweep(_spec(), SweepStore(tmp_path), jobs=1)
+    assert report.failed == 0
+    assert METRICS.counter("sweep.point.ok") == 4
+    assert METRICS.counter("sweep.cache.miss") == 4

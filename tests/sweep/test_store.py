@@ -1,0 +1,91 @@
+"""Content-addressed store semantics: keys, atomicity, self-healing."""
+
+import json
+
+import pytest
+
+from repro.sweep import SweepStore, canonical_json, load_records, record_key
+from repro.sweep.store import read_jsonl
+
+
+def _record(key: str) -> dict:
+    return {"key": key, "status": "ok", "quality": {"skew_ps": 1.0}}
+
+
+def test_record_key_depends_on_all_three_parts():
+    base = record_key("fp", {"eps": 0.1})
+    assert base == record_key("fp", {"eps": 0.1})
+    assert base != record_key("fp2", {"eps": 0.1})
+    assert base != record_key("fp", {"eps": 0.2})
+
+
+def test_key_is_insensitive_to_dict_ordering():
+    a = record_key("fp", {"a": 1, "b": 2})
+    b = record_key("fp", {"b": 2, "a": 1})
+    assert a == b
+
+
+def test_put_get_round_trip(tmp_path):
+    store = SweepStore(tmp_path)
+    key = record_key("fp", {"eps": 0.1})
+    assert store.get(key) is None
+    store.put(key, _record(key))
+    assert store.get(key) == _record(key)
+    assert store.keys() == [key]
+
+
+def test_corrupt_record_is_a_miss(tmp_path):
+    store = SweepStore(tmp_path)
+    key = record_key("fp", {})
+    store.put(key, _record(key))
+    store.record_path(key).write_text("{broken json")
+    assert store.get(key) is None  # self-heals on the next put
+
+
+def test_key_mismatch_is_a_miss(tmp_path):
+    store = SweepStore(tmp_path)
+    key = record_key("fp", {})
+    store.put(key, {"key": "somebody-else", "status": "ok"})
+    assert store.get(key) is None
+
+
+def test_records_are_canonical_bytes(tmp_path):
+    store = SweepStore(tmp_path)
+    key = record_key("fp", {})
+    record = {"key": key, "b": 2, "a": 1, "status": "ok"}
+    store.put(key, record)
+    text = store.record_path(key).read_text()
+    assert text == canonical_json(record) + "\n"
+    assert '"a":1,"b":2' in text  # sorted, compact
+
+
+def test_write_sweep_and_read_jsonl(tmp_path):
+    store = SweepStore(tmp_path)
+    records = [_record("k1"), _record("k2")]
+    path = store.write_sweep("unit", "d" * 16, records)
+    assert path.name == f"unit-{'d' * 12}.jsonl"
+    assert read_jsonl(path) == records
+
+
+def test_read_jsonl_typed_errors(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ok": 1}\n{broken\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2.*not valid JSON"):
+        read_jsonl(path)
+    path.write_text("[1, 2]\n")
+    with pytest.raises(ValueError, match="must be a JSON object"):
+        read_jsonl(path)
+
+
+def test_load_records_dispatches_on_path_kind(tmp_path):
+    store = SweepStore(tmp_path / "store")
+    key = record_key("fp", {})
+    store.put(key, _record(key))
+    assert load_records(tmp_path / "store") == [_record(key)]
+    jsonl = tmp_path / "run.jsonl"
+    jsonl.write_text(json.dumps(_record("x")) + "\n")
+    assert load_records(jsonl) == [_record("x")]
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no sweep records"):
+        load_records(empty)

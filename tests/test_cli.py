@@ -253,3 +253,115 @@ def test_check_bad_json_exits_2(tmp_path, capsys):
     path.write_text("{oops")
     assert main(["check", str(path)]) == 2
     assert "not valid JSON" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --json output (designs / check)
+# ----------------------------------------------------------------------
+def test_designs_json(capsys):
+    assert main(["designs", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    names = {r["design"] for r in rows}
+    assert "s38584" in names and "ysyx_3" in names
+    assert all("num_ffs" in r and "die_um" in r for r in rows)
+
+
+def test_check_json_clean(netfile, tmp_path, capsys):
+    tree_path = tmp_path / "t.json"
+    assert main(["route", str(netfile), "--save-tree", str(tree_path)]) == 0
+    capsys.readouterr()
+    assert main(["check", str(tree_path), "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["clean"] is True
+    assert data["violations"] == []
+    assert data["sinks"] == 4
+
+
+def test_check_json_violations(netfile, tmp_path, capsys):
+    tree_path = tmp_path / "t.json"
+    assert main(["route", str(netfile), "--save-tree", str(tree_path)]) == 0
+    capsys.readouterr()
+    assert main(["check", str(tree_path), "--json",
+                 "--max-fanout", "1"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["clean"] is False
+    assert any(v["kind"] == "fanout" for v in data["violations"])
+
+
+# ----------------------------------------------------------------------
+# sweep / pareto subcommands
+# ----------------------------------------------------------------------
+@pytest.fixture
+def specfile(tmp_path):
+    path = tmp_path / "unit-sweep.json"
+    path.write_text(json.dumps({
+        "name": "cli-unit",
+        "designs": ["s38584"],
+        "scales": [0.02],
+        "grid": {"eps": [0.1, 1.0], "library": ["default", "lean"]},
+    }))
+    return path
+
+
+def test_sweep_and_pareto_end_to_end(specfile, tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["sweep", str(specfile), "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "4 points" in out and "4 executed" in out
+
+    # rerun: everything cached
+    assert main(["sweep", str(specfile), "--store", str(store),
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["cache_hits"] == 4
+    assert data["cache_misses"] == 0
+    assert len(data["records"]) == 4
+
+    svg_path = tmp_path / "front.svg"
+    assert main(["pareto", str(store), "--svg", str(svg_path)]) == 0
+    out = capsys.readouterr().out
+    assert "front:" in out
+    assert svg_path.read_text().startswith("<svg")
+
+    assert main(["pareto", str(store), "--json",
+                 "--objectives", "skew_ps", "wirelength_um"]) == 0
+    front = json.loads(capsys.readouterr().out)
+    assert front["front_size"] >= 1
+    assert front["objectives"] == ["skew_ps", "wirelength_um"]
+
+
+def test_sweep_bad_spec_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"designs": ["nope"]}))
+    assert main(["sweep", str(path)]) == 2
+    assert "unknown design" in capsys.readouterr().err
+
+
+def test_sweep_missing_specfile_exits_2(tmp_path, capsys):
+    assert main(["sweep", str(tmp_path / "absent.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_strict_fails_on_injected_fault(specfile, tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["sweep", str(specfile), "--store", str(store),
+                 "--fault-rate", "1.0", "--strict"]) == 1
+    captured = capsys.readouterr()
+    assert "strict mode" in captured.err
+    assert "4 failed" in captured.out
+
+
+def test_pareto_empty_store_exits_2(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["pareto", str(empty)]) == 2
+    assert "no sweep records" in capsys.readouterr().err
+
+
+def test_pareto_bad_axis_exits_2(specfile, tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["sweep", str(specfile), "--store", str(store)]) == 0
+    capsys.readouterr()
+    assert main(["pareto", str(store), "--svg", str(tmp_path / "o.svg"),
+                 "--x", "bogus"]) == 2
+    assert "not a sweep objective" in capsys.readouterr().err

@@ -1,0 +1,60 @@
+"""Pareto scatter rendering (dependency-free SVG)."""
+
+import pytest
+
+from repro.viz import render_scatter_svg, save_scatter_svg
+
+POINTS = [
+    (100.0, 5.0, True, "#0 a: skew=5"),
+    (120.0, 3.0, True, "#1 b: skew=3"),
+    (140.0, 2.0, True, "#2 c: skew=2"),
+    (130.0, 5.5, False, "#3 d: skew=5.5"),
+    (150.0, 4.0, False, "#4 e: skew=4"),
+]
+
+
+def test_scatter_basic_structure():
+    svg = render_scatter_svg(POINTS, "wirelength_um", "skew_ps",
+                             title="front")
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    # one diamond per front point (+1 legend swatch), one circle per
+    # dominated point (+1 legend swatch)
+    assert svg.count("<polygon") == 3 + 1
+    assert svg.count("<circle") == 2 + 1
+    # staircase connects the front
+    assert "stroke-dasharray" in svg
+    # axis labels, title, legend
+    assert "wirelength_um" in svg and "skew_ps" in svg
+    assert "front" in svg
+    assert "Pareto front" in svg and "dominated" in svg
+
+
+def test_scatter_tooltips_and_labels():
+    svg = render_scatter_svg(POINTS, "x", "y")
+    # every mark carries a <title> tooltip
+    assert svg.count("<title>") == len(POINTS)
+    # front points are direct-labeled with the pre-colon label part
+    assert "#0 a" in svg and "#2 c" in svg
+
+
+def test_scatter_single_point_and_degenerate_ranges():
+    svg = render_scatter_svg([(1.0, 1.0, True, "only")], "x", "y")
+    assert "<polygon" in svg  # no division by zero on zero span
+
+
+def test_scatter_escapes_labels():
+    svg = render_scatter_svg([(0.0, 0.0, True, "a<b&c")], "x", "y")
+    assert "a<b" not in svg
+    assert "a&lt;b&amp;c" in svg
+
+
+def test_scatter_rejects_empty():
+    with pytest.raises(ValueError, match="at least one point"):
+        render_scatter_svg([], "x", "y")
+
+
+def test_save_scatter_svg(tmp_path):
+    path = tmp_path / "s.svg"
+    save_scatter_svg(POINTS, path, x_label="x", y_label="y")
+    assert path.read_text().startswith("<svg")
