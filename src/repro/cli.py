@@ -129,10 +129,15 @@ def _run_flow(args, tech, design):
     if args.flow == "ours":
         from repro.cts import FlowConfig
 
-        config = FlowConfig(jobs=getattr(args, "jobs", 1))
-        return HierarchicalCTS(tech=tech, config=config).run(
-            design.sinks, design.source
+        config = FlowConfig(
+            jobs=getattr(args, "jobs", 1),
+            task_timeout=getattr(args, "task_timeout", 0.0),
+            task_retries=getattr(args, "task_retries", 1),
+            pool_rebuilds=getattr(args, "pool_rebuilds", 2),
         )
+        engine = HierarchicalCTS(tech=tech, config=config,
+                                 fabric_chaos=_fabric_chaos(args))
+        return engine.run(design.sinks, design.source)
     if args.flow == "commercial":
         return commercial_like_cts(design.sinks, design.source, tech)
     return openroad_like_cts(design.sinks, design.source, tech)
@@ -167,6 +172,8 @@ def cmd_flow(args) -> int:
         f"max stage load {stats.max_stage_load:.1f} fF, "
         f"detour wire {stats.detour_fraction * 100:.1f}%"
     )
+    if result.health is not None and not result.health.healthy:
+        print(result.health.summary())
     diag = result.diagnostics
     if diag is not None:
         print(format_diagnostics(diag))
@@ -267,6 +274,80 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"value must be >= 0, got {value}"
+        )
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"value must be >= 0, got {value}"
+        )
+    return value
+
+
+def _rate(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"rate must be in [0, 1], got {value}"
+        )
+    return value
+
+
+def _fabric_chaos(args):
+    """The run's FabricChaos (or None) from --fabric-fault-* flags."""
+    rate = getattr(args, "fabric_fault_rate", 0.0)
+    if rate <= 0:
+        return None
+    from repro.resilience import FabricChaos
+
+    return FabricChaos(rate, seed=args.fabric_fault_seed)
+
+
+def _add_fabric_args(parser) -> None:
+    """Resilience/chaos flags shared by ``flow`` and ``sweep``."""
+    parser.add_argument(
+        "--task-timeout", type=_nonneg_float, default=0.0,
+        metavar="SECONDS",
+        help="per-task wall-clock budget; on expiry the workers are "
+             "killed and the task runs in-process (0 = no deadline, "
+             "the default)",
+    )
+    parser.add_argument(
+        "--task-retries", type=_nonneg_int, default=1, metavar="N",
+        help="re-submissions per task for transient worker failures "
+             "before running it in-process (default: 1)",
+    )
+    parser.add_argument(
+        "--pool-rebuilds", type=_nonneg_int, default=2, metavar="N",
+        help="times a broken worker pool is rebuilt per run before "
+             "falling back to in-process execution (default: 2)",
+    )
+    parser.add_argument(
+        "--fabric-fault-rate", type=_rate, default=0.0, metavar="P",
+        help="seeded chaos injection probability per task submission "
+             "(worker kills, delays, corrupted payloads; results stay "
+             "byte-identical; default: 0)",
+    )
+    parser.add_argument("--fabric-fault-seed", type=int, default=0)
+
+
 def cmd_designs(args) -> int:
     from repro.designs import TABLE4_SPECS
 
@@ -331,6 +412,11 @@ def cmd_sweep(args) -> int:
     report = run_sweep(
         spec, store, jobs=args.jobs,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+        pool_rebuilds=args.pool_rebuilds,
+        fabric_fault_rate=args.fabric_fault_rate,
+        fabric_fault_seed=args.fabric_fault_seed,
     )
     if args.json:
         print(json.dumps({
@@ -342,6 +428,7 @@ def cmd_sweep(args) -> int:
             "failed": report.failed,
             "runtime_s": report.runtime_s,
             "jsonl": str(report.jsonl_path),
+            "health": report.health.to_dict(),
             "records": report.records,
         }, indent=2))
     else:
@@ -494,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default), N > 1 = pool of N, 0 = one per CPU "
              "('ours' flow only)",
     )
+    _add_fabric_args(p_flow)
     p_flow.set_defaults(func=cmd_flow)
 
     p_check = sub.add_parser(
@@ -566,11 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default), N > 1 = pool of N, 0 = one per CPU",
     )
     p_sweep.add_argument(
-        "--fault-rate", type=float, default=0.0,
+        "--fault-rate", type=_rate, default=0.0,
         help="deterministic per-point fault injection probability "
              "(robustness testing; default: 0)",
     )
     p_sweep.add_argument("--fault-seed", type=int, default=0)
+    _add_fabric_args(p_sweep)
     p_sweep.add_argument(
         "--strict", action="store_true",
         help="exit non-zero if any point failed (default: report only)",

@@ -56,6 +56,7 @@ from repro.obs.tracer import TRACER
 from repro.netlist.sink import Sink
 from repro.netlist.tree import RoutedTree
 from repro.parallel import ClusterTask, ParallelRouter
+from repro.resilience import FabricChaos, FabricPolicy, RunHealth
 from repro.partition.annealing import SAConfig, anneal_partition, total_cost
 from repro.partition.clustering import Cluster, cluster_cap
 from repro.partition.kmeans import balanced_kmeans
@@ -68,12 +69,22 @@ _LOG = get_logger("cts")
 #: Bumped when the meaning of a :class:`FlowConfig` field changes in a
 #: way that invalidates previously computed digests (a renamed knob, a
 #: changed default semantic).  Part of every sweep-store cache key.
-CONFIG_SCHEMA_VERSION = 1
+#: v2: execution-fabric fields left the canonical form (see
+#: :data:`_EXECUTION_FIELDS`).
+CONFIG_SCHEMA_VERSION = 2
 
 #: Fields that hold callables: pluggable, but not serialisable — a
 #: config carrying one cannot round-trip through ``to_dict`` and has no
 #: canonical digest.
 _CALLABLE_FIELDS = ("router", "partitioner")
+
+#: Execution-fabric fields: *where/how* the flow runs, never *what* it
+#: computes.  By the determinism contract (docs/PARALLELISM.md) results
+#: are byte-identical for any value of these, so they are excluded from
+#: the canonical form and the digest — two runs differing only in
+#: fabric knobs share one cache entry.
+_EXECUTION_FIELDS = ("jobs", "task_timeout", "task_retries",
+                     "pool_rebuilds")
 
 
 @dataclass(slots=True)
@@ -98,6 +109,12 @@ class FlowConfig:
     # (byte-identical to the pre-parallel flow), N > 1 = a pool of N,
     # 0 or negative = one per CPU.  See docs/PARALLELISM.md.
     jobs: int = 1
+    # execution-fabric resilience budgets (docs/PARALLELISM.md,
+    # "Failure model"); like ``jobs`` they cannot change results and
+    # stay out of the canonical form / digest
+    task_timeout: float = 0.0     # per-task wall-clock budget, s (0 = off)
+    task_retries: int = 1         # transient-failure re-submissions
+    pool_rebuilds: int = 2        # broken-pool resurrections per run
 
     # ------------------------------------------------------------------
     # Canonical serialisation (the sweep store's cache-key substrate)
@@ -110,6 +127,9 @@ class FlowConfig:
         configs that compare equal serialise to identical dicts.  A
         config carrying a pluggable callable (``router`` /
         ``partitioner``) is not serialisable and raises ``ValueError``.
+        Execution-fabric fields (:data:`_EXECUTION_FIELDS`) are
+        deliberately absent: they cannot affect results, so they must
+        not affect cache keys.
         """
         for name in _CALLABLE_FIELDS:
             if getattr(self, name) is not None:
@@ -119,7 +139,7 @@ class FlowConfig:
                 )
         out: dict = {}
         for f in fields(self):
-            if f.name in _CALLABLE_FIELDS:
+            if f.name in _CALLABLE_FIELDS or f.name in _EXECUTION_FIELDS:
                 continue
             value = getattr(self, f.name)
             if isinstance(value, bool):
@@ -198,6 +218,7 @@ class CTSResult:
     runtime_s: float
     diagnostics: FlowDiagnostics | None = None
     top_buffers: int = 0          # buffers inserted on the top (source) net
+    health: RunHealth | None = None  # what the execution fabric absorbed
 
 
 class HierarchicalCTS:
@@ -210,6 +231,7 @@ class HierarchicalCTS:
         constraints: Constraints = TABLE5,
         config: FlowConfig | None = None,
         analyzer: ElmoreAnalyzer | None = None,
+        fabric_chaos: FabricChaos | None = None,
     ):
         self._tech = tech or Technology()
         self._lib = library or default_library()
@@ -218,6 +240,9 @@ class HierarchicalCTS:
         self._analyzer = analyzer or ElmoreAnalyzer(
             self._tech, self._config.source_slew
         )
+        # seeded fault injection for the execution fabric (chaos runs);
+        # never touches results, only where tasks end up executing
+        self._fabric_chaos = fabric_chaos
 
     # ------------------------------------------------------------------
     def run(
@@ -246,7 +271,11 @@ class HierarchicalCTS:
         levels: list[LevelStats] = []
         subtrees: dict[str, RoutedTree] = {}  # driver sink name -> its net tree
         level = 0
-        pool = ParallelRouter(self, cfg.jobs) if cfg.jobs != 1 else None
+        pool = ParallelRouter(
+            self, cfg.jobs,
+            policy=FabricPolicy.from_flow_config(cfg),
+            chaos=self._fabric_chaos,
+        ) if cfg.jobs != 1 else None
 
         try:
             while len(current) > cons.max_fanout:
@@ -293,6 +322,7 @@ class HierarchicalCTS:
             runtime_s=now() - start,
             diagnostics=diag,
             top_buffers=top_buffers,
+            health=pool.health if pool is not None else RunHealth(),
         )
 
     def build_chain(self, diagnostics: FlowDiagnostics) -> RouterFallbackChain:
@@ -353,17 +383,29 @@ class HierarchicalCTS:
             for j, cluster in enumerate(clusters)
             if cluster.sinks
         ]
-        outcomes = pool.route_clusters(tasks) \
-            if pool is not None and len(tasks) > 1 \
+        pooled = pool is not None and len(tasks) > 1
+        outcomes = pool.route_clusters(tasks) if pooled \
             else [None] * len(tasks)
-        for task, outcome in zip(tasks, outcomes):
+        reasons = pool.last_failure_reasons if pooled else {}
+        for pos, (task, outcome) in enumerate(zip(tasks, outcomes)):
             if outcome is None:
-                if pool is not None and len(tasks) > 1:
-                    diag.record(
-                        "route", "fault", level=level, net=task.name,
-                        detail="parallel worker failed; "
-                               "routed serially in parent",
-                    )
+                if pooled:
+                    code, why = reasons.get(pos, ("fault", ""))
+                    if code == "timeout":
+                        diag.record(
+                            "route", "timeout", level=level, net=task.name,
+                            detail=why or "task deadline expired; "
+                                          "routed serially in parent",
+                        )
+                    else:
+                        detail = ("parallel worker failed; "
+                                  "routed serially in parent")
+                        if why:
+                            detail = f"{detail} ({why})"
+                        diag.record(
+                            "route", "fault", level=level, net=task.name,
+                            detail=detail,
+                        )
                 cluster = Cluster(list(task.sinks), task.center)
                 with TRACER.span("cluster", net=task.name,
                                  sinks=cluster.size):

@@ -31,11 +31,12 @@ EVENT_KINDS = (
     "violation",     # a constraint violation survived repair
     "forced_split",  # partitioning was replaced by the forced median split
     "fault",         # an injected/unexpected fault was absorbed
+    "timeout",       # a parallel task blew its deadline; ran in parent
 )
 
 #: Kinds that make a run "degraded" for ``--strict`` purposes.
 DEGRADED_KINDS = frozenset(
-    {"retry", "downgrade", "violation", "forced_split", "fault"}
+    {"retry", "downgrade", "violation", "forced_split", "fault", "timeout"}
 )
 
 

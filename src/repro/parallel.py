@@ -28,10 +28,24 @@ pins):
   loop would have produced them.
 
 ``jobs=1`` never constructs a pool: the framework keeps the original
-serial loop, byte-identical to the pre-parallel flow.  A worker failure
-(unpicklable payload, killed process, broken pool) degrades per task:
-the parent records a flowguard event and routes that cluster serially —
-the flow never aborts because the pool did.
+serial loop, byte-identical to the pre-parallel flow.
+
+Failure handling climbs the :mod:`repro.resilience` degradation ladder
+(docs/PARALLELISM.md, "Failure model"):
+
+    deadline → retry → resurrect → quarantine → in-process
+
+A task that exceeds its wall-clock budget has its workers killed and
+degrades to in-process execution; a transient failure (unpicklable
+payload, failed submission) is retried on the policy's deterministic
+backoff schedule; a broken pool is rebuilt — initializer re-run — up to
+``pool_rebuilds`` times; a task that keeps breaking the pool (confirmed
+by re-running suspects one at a time, so innocent co-runners are never
+blamed) is quarantined in-process for the rest of the run.  Every rung
+ends in the same computation running *somewhere*, so results stay
+byte-identical however bumpy the run was; the bumps land in
+``WorkPool.health`` (a :class:`~repro.resilience.RunHealth`) and the
+``fabric.*`` metrics, never in results.
 
 Worker-side observability rides home on the outcome: captured span
 roots are re-parented under the parent's open ``level`` span via
@@ -45,7 +59,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, wait as futures_wait
 from dataclasses import dataclass, field
 
 from repro.flowguard.diagnostics import FlowDiagnostics
@@ -56,6 +74,8 @@ from repro.obs.logcfg import get_logger
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER, Span
 from repro.partition.clustering import Cluster
+from repro.resilience import FabricChaos, FabricPolicy, RunHealth, chaos_call
+from repro.resilience.chaos import Unpicklable
 
 _LOG = get_logger("parallel")
 
@@ -151,6 +171,35 @@ def _run_cluster_task(task: ClusterTask) -> ClusterOutcome:
     )
 
 
+def _tracked_call(sentinel_dir: str, token: str, fn, task, mode, arg):
+    """Run one task in a worker, under the started-task ledger.
+
+    The sentinel file exists exactly while the task is *executing* in a
+    worker: created before the call, removed on any normal completion
+    (including an ordinary exception, which leaves the worker alive).
+    A sentinel that survives a pool break therefore marks a task whose
+    execution the break interrupted — the parent's blame evidence for
+    the quarantine ladder.  A chaos ``kill`` exits before the cleanup
+    runs, exactly like a real segfault/OOM-kill would.
+    """
+    path = os.path.join(sentinel_dir, token)
+    try:
+        with open(path, "w"):
+            pass
+    except OSError:  # ledger unavailable: run anyway, blame-blind
+        path = None
+    try:
+        if mode is not None:
+            return chaos_call(fn, task, mode, arg)
+        return fn(task)
+    finally:
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
@@ -162,9 +211,16 @@ class WorkPool:
     execution).  Tasks must be picklable and the mapped function a
     module-level callable; the worker context, if any, is installed by
     ``initializer``.  Every failure mode degrades per task rather than
-    aborting: an unavailable pool, a failed submission, a dead worker or
-    an unpicklable payload each yield ``None`` for the affected tasks,
-    and the caller runs those in-process.
+    aborting — a ``None`` result means the caller runs that task
+    in-process — after climbing the resilience ladder ``policy``
+    budgets: deadline, bounded retry, pool resurrection, quarantine.
+
+    ``health`` collects every resilience action taken;
+    ``last_failure_reasons`` maps task index → ``(code, detail)`` for
+    the most recent :meth:`map` call so callers can attribute each
+    degradation (``"timeout"`` vs ``"fault"`` vs ``"quarantine"`` ...).
+    ``chaos``, when set, injects deterministic seeded faults into
+    submissions — the test/CI harness for all of the above.
 
     The executor is created lazily on the first batch, so constructing
     a pool that never sees work costs nothing; ``fork`` is preferred
@@ -172,40 +228,133 @@ class WorkPool:
     image instead of a pickle round-trip).
     """
 
-    def __init__(self, jobs: int, initializer=None, initargs: tuple = ()):
+    def __init__(
+        self,
+        jobs: int,
+        initializer=None,
+        initargs: tuple = (),
+        policy: FabricPolicy | None = None,
+        chaos: FabricChaos | None = None,
+        health: RunHealth | None = None,
+    ):
         self.jobs = resolve_jobs(jobs)
+        self.policy = policy if policy is not None else FabricPolicy()
+        self.chaos = chaos
+        self.health = health if health is not None else RunHealth()
+        self.last_failure_reasons: dict[int, tuple[str, str]] = {}
         self._initializer = initializer
         self._initargs = initargs
         self._executor: ProcessPoolExecutor | None = None
         self._dead = False
+        self._built = False            # first construction happened
+        self._rebuilds_used = 0
+        self._strikes: dict[str, int] = {}     # label -> pool-break count
+        self._quarantined: set[str] = set()    # labels routed in-process
+        self._sentinel_dir: str | None = None
+        self._token_counter = 0
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor | None:
         if self._dead:
             return None
-        if self._executor is None:
-            try:
-                methods = multiprocessing.get_all_start_methods()
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in methods else methods[0]
-                )
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.jobs,
-                    mp_context=ctx,
-                    initializer=self._initializer,
-                    initargs=self._initargs,
-                )
-            except Exception as exc:  # noqa: BLE001 — degrade, don't abort
-                _LOG.warning("process pool unavailable (%s); "
-                             "falling back to in-process execution", exc)
+        if self._executor is not None:
+            return self._executor
+        rebuilding = self._built
+        if rebuilding:
+            if self._rebuilds_used >= self.policy.pool_rebuilds:
                 self._dead = True
+                METRICS.inc("fabric.pool.lost")
+                self.health.record(
+                    "pool_lost",
+                    detail=(f"rebuild budget "
+                            f"({self.policy.pool_rebuilds}) exhausted; "
+                            f"remaining tasks run in-process"),
+                )
+                _LOG.warning("pool rebuild budget (%d) exhausted; "
+                             "running everything in-process",
+                             self.policy.pool_rebuilds)
                 return None
+            self._rebuilds_used += 1
+        try:
+            if self._sentinel_dir is None:
+                self._sentinel_dir = tempfile.mkdtemp(prefix="repro-fabric-")
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=ctx,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+            _LOG.warning("process pool unavailable (%s); "
+                         "falling back to in-process execution", exc)
+            self._dead = True
+            return None
+        self._built = True
+        if rebuilding:
+            METRICS.inc("fabric.pool.resurrected")
+            self.health.record(
+                "resurrect", attempt=self._rebuilds_used,
+                detail=(f"broken pool rebuilt "
+                        f"({self._rebuilds_used}/"
+                        f"{self.policy.pool_rebuilds}); initializer re-run"),
+            )
+            _LOG.warning("broken process pool rebuilt (%d/%d)",
+                         self._rebuilds_used, self.policy.pool_rebuilds)
         return self._executor
 
+    def _kill_workers(self) -> None:
+        """Hard-kill every live worker (deadline enforcement)."""
+        executor = self._executor
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 — already gone
+                pass
+
+    def _teardown_executor(self) -> None:
+        """Drop the current executor and reap its workers (bounded)."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        procs = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — broken pools may throw here
+            pass
+        self._reap(procs)
+
+    def _reap(self, procs) -> None:
+        """Join workers within ``shutdown_grace``; terminate, then kill.
+
+        Guarantees no orphaned children outlive the pool while bounding
+        run-end latency — the fix for the old ``shutdown(wait=False)``
+        leak.
+        """
+        deadline = time.monotonic() + self.policy.shutdown_grace
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(max(0.0, deadline - time.monotonic()))
+        stragglers = [p for p in procs if p.is_alive()]
+        for proc in stragglers:
+            proc.terminate()
+        for proc in stragglers:
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        self._teardown_executor()
+        if self._sentinel_dir is not None:
+            shutil.rmtree(self._sentinel_dir, ignore_errors=True)
+            self._sentinel_dir = None
 
     def __enter__(self) -> "WorkPool":
         return self
@@ -214,36 +363,254 @@ class WorkPool:
         self.shutdown()
         return False
 
+    # -- ledger ---------------------------------------------------------
+    def _next_token(self) -> str:
+        self._token_counter += 1
+        return f"t{self._token_counter}"
+
+    def _had_started(self, token: str) -> bool:
+        if self._sentinel_dir is None:
+            return False
+        return os.path.exists(os.path.join(self._sentinel_dir, token))
+
+    def _drop_sentinel(self, token: str) -> None:
+        if self._sentinel_dir is None:
+            return
+        try:
+            os.unlink(os.path.join(self._sentinel_dir, token))
+        except OSError:
+            pass
+
+    # -- bookkeeping ----------------------------------------------------
+    def _degrade(self, index: int, label: str, code: str,
+                 detail: str) -> None:
+        """Task ``index`` falls off the ladder: caller runs it in-process."""
+        self.last_failure_reasons[index] = (code, detail)
+        METRICS.inc("fabric.task.degraded")
+        self.health.record("degraded", task=label, detail=detail)
+
+    def _strike(self, label: str) -> bool:
+        """One pool-break/timeout strike; True once ``label`` is poison."""
+        self._strikes[label] = self._strikes.get(label, 0) + 1
+        if (self._strikes[label] >= self.policy.quarantine_after
+                and label not in self._quarantined):
+            self._quarantined.add(label)
+            METRICS.inc("fabric.task.quarantined")
+            self.health.record(
+                "quarantine", task=label,
+                detail=(f"broke the pool {self._strikes[label]} time(s); "
+                        f"routed in-process for the rest of the run"),
+            )
+            _LOG.warning("task %s quarantined after %d pool break(s)",
+                         label, self._strikes[label])
+        return label in self._quarantined
+
     # -- mapping --------------------------------------------------------
     def map(self, fn, tasks: list, describe=str) -> list:
         """Run ``fn`` over ``tasks``; returns results aligned to tasks.
 
-        A ``None`` entry means that task's worker failed (or the pool
-        is unavailable) and the caller must run it in-process — the
-        per-task degradation contract both the framework and the sweep
-        runner rely on.  ``describe(task)`` labels failure logs.
+        A ``None`` entry means that task fell off the resilience ladder
+        (deadline expiry, exhausted retries, quarantine, lost pool) and
+        the caller must run it in-process — the per-task degradation
+        contract both the framework and the sweep runner rely on.
+        ``describe(task)`` labels failure logs, health events and the
+        quarantine ledger; ``last_failure_reasons`` explains each
+        ``None`` until the next ``map`` call.
         """
-        executor = self._ensure_executor()
-        if executor is None:
-            return [None] * len(tasks)
-        try:
-            futures = [executor.submit(fn, t) for t in tasks]
-        except Exception as exc:  # noqa: BLE001 — pool already shut/broken
-            _LOG.warning("task submission failed (%s); running the "
-                         "batch in-process", exc)
-            self._dead = True
-            return [None] * len(tasks)
-        results: list = []
-        for task, future in zip(tasks, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:  # noqa: BLE001 — worker died/unpicklable
-                _LOG.warning("worker failed on %s (%s: %s)",
-                             describe(task), exc.__class__.__name__, exc)
-                results.append(None)
-                if _pool_is_broken(exc):
-                    self._dead = True
+        results: list = [None] * len(tasks)
+        self.last_failure_reasons = {}
+        if not tasks:
+            return results
+        labels = [describe(t) for t in tasks]
+        queue: list[int] = []
+        for i, label in enumerate(labels):
+            if label in self._quarantined:
+                self._degrade(i, label, "quarantine",
+                              "task is quarantined; running in-process")
+            else:
+                queue.append(i)
+        transient = {i: 0 for i in queue}   # transient-retry budget used
+        isolation: set[int] = set()         # suspects: run one at a time
+        drawn: set[int] = set()             # chaos draw consumed
+
+        while queue:
+            executor = self._ensure_executor()
+            if executor is None:
+                for i in queue:
+                    self._degrade(i, labels[i], "pool_lost",
+                                  "no usable process pool; "
+                                  "running in-process")
+                break
+            suspects = [i for i in queue if i in isolation]
+            batch = [suspects[0]] if suspects else list(queue)
+            submitted: dict[int, tuple] = {}   # index -> (future, token)
+            for i in batch:
+                mode, arg = None, 0.0
+                if self.chaos is not None and i not in drawn:
+                    drawn.add(i)
+                    fault = self.chaos.draw()
+                    if fault is not None:
+                        mode, arg = fault
+                        _LOG.warning("chaos: injecting %r into %s",
+                                     mode, labels[i])
+                payload = tasks[i]
+                if mode == "corrupt":
+                    payload, mode = Unpicklable(payload), None
+                token = self._next_token()
+                try:
+                    future = executor.submit(
+                        _tracked_call, self._sentinel_dir, token,
+                        fn, payload, mode, arg,
+                    )
+                except Exception as exc:  # noqa: BLE001 — pool broke
+                    _LOG.warning("task submission failed (%s); "
+                                 "rebuilding the pool", exc)
+                    break
+                submitted[i] = (future, token)
+            queue = [i for i in queue if i not in submitted]
+            if not submitted:
+                # the very first submission failed: the pool is gone;
+                # tearing it down costs a rebuild life, which bounds
+                # this loop by the policy's resurrection budget
+                self._teardown_executor()
+                continue
+            requeue = self._collect(submitted, labels, transient,
+                                    isolation, results)
+            queue = sorted(set(queue) | set(requeue))
         return results
+
+    def _collect(
+        self,
+        submitted: dict[int, tuple],
+        labels: list[str],
+        transient: dict[int, int],
+        isolation: set[int],
+        results: list,
+    ) -> list[int]:
+        """Resolve one submitted batch; returns indices to re-queue.
+
+        Futures resolve in submission order.  With a deadline armed,
+        each future gets up to ``task_timeout`` seconds *from the
+        moment the parent starts waiting on it* — a conservative
+        per-task budget (waits overlap siblings' execution, so nothing
+        is killed early) whose worst-case stall per hung chain is one
+        budget, because an expiry kills the pool and costs a
+        resurrection life.
+        """
+        timeout = self.policy.task_timeout
+        requeue: list[int] = []
+        killed_by_deadline = False
+        broke = False
+        for i in sorted(submitted):
+            future, token = submitted[i]
+            label = labels[i]
+            if timeout > 0 and not future.done():
+                done, _ = futures_wait([future], timeout=timeout)
+                if not done:
+                    METRICS.inc("fabric.task.timeout")
+                    self.health.record(
+                        "timeout", task=label,
+                        detail=(f"exceeded the {timeout:g}s wall-clock "
+                                f"budget; workers killed"),
+                    )
+                    _LOG.warning("task %s exceeded its %gs deadline; "
+                                 "killing workers and running it "
+                                 "in-process", label, timeout)
+                    self._strike(label)
+                    self._degrade(
+                        i, label, "timeout",
+                        f"task exceeded its {timeout:g}s deadline; "
+                        f"ran in-process",
+                    )
+                    self._drop_sentinel(token)
+                    self._kill_workers()
+                    killed_by_deadline = True
+                    broke = True
+                    continue
+            try:
+                result = future.result()
+            except Exception as exc:  # noqa: BLE001 — classified below
+                self._resolve_failure(
+                    i, label, token, exc, transient, isolation, requeue,
+                    killed_by_deadline,
+                )
+                if _pool_is_broken(exc):
+                    broke = True
+            else:
+                results[i] = result
+                self._drop_sentinel(token)
+        if broke:
+            self._teardown_executor()
+        return requeue
+
+    def _resolve_failure(
+        self,
+        i: int,
+        label: str,
+        token: str,
+        exc: Exception,
+        transient: dict[int, int],
+        isolation: set[int],
+        requeue: list[int],
+        killed_by_deadline: bool,
+    ) -> None:
+        """Classify one failed future onto the resilience ladder."""
+        started = self._had_started(token)
+        self._drop_sentinel(token)
+        if _pool_is_broken(exc):
+            if killed_by_deadline or not started:
+                # collateral damage of a deadline kill, or never even
+                # started: presumed innocent, re-queued for free (the
+                # break itself already cost a resurrection life)
+                METRICS.inc("fabric.task.retry")
+                self.health.record(
+                    "retry", task=label,
+                    detail="re-queued after a pool break it did not cause",
+                )
+                requeue.append(i)
+            elif self._strike(label):
+                self._degrade(i, label, "quarantine",
+                              "task broke the pool repeatedly; "
+                              "quarantined and ran in-process")
+            else:
+                # started-but-unfinished at the break: suspect.  Re-run
+                # solo so a second break convicts it without ever
+                # blaming an innocent co-runner.
+                isolation.add(i)
+                METRICS.inc("fabric.task.retry")
+                self.health.record(
+                    "retry", task=label, attempt=self._strikes.get(label, 0),
+                    detail="suspected of breaking the pool; "
+                           "re-queued in isolation",
+                )
+                requeue.append(i)
+        elif isinstance(exc, pickle.PicklingError):
+            transient[i] = transient.get(i, 0) + 1
+            if transient[i] <= self.policy.task_retries:
+                METRICS.inc("fabric.task.retry")
+                self.health.record(
+                    "retry", task=label, attempt=transient[i],
+                    detail=f"transient submission failure ({exc}); "
+                           f"re-submitting",
+                )
+                backoff = self.policy.backoff(transient[i])
+                if backoff > 0:
+                    time.sleep(backoff)
+                requeue.append(i)
+            else:
+                self._degrade(
+                    i, label, "fault",
+                    f"submission kept failing "
+                    f"({exc.__class__.__name__}: {exc}); ran in-process",
+                )
+        else:
+            _LOG.warning("worker failed on %s (%s: %s)",
+                         label, exc.__class__.__name__, exc)
+            self._degrade(
+                i, label, "fault",
+                f"worker failed ({exc.__class__.__name__}: {exc}); "
+                f"ran in-process",
+            )
 
 
 class ParallelRouter:
@@ -252,15 +619,33 @@ class ParallelRouter:
     Created by :class:`~repro.cts.framework.HierarchicalCTS` when
     ``FlowConfig.jobs != 1`` and shut down when the run ends; the pool
     (and its forked worker context) is reused across all levels of the
-    run.  A thin cluster-shaped wrapper over :class:`WorkPool`.
+    run.  A thin cluster-shaped wrapper over :class:`WorkPool` that
+    passes the flow's :class:`~repro.resilience.FabricPolicy` and, for
+    chaos runs, a :class:`~repro.resilience.FabricChaos` through.
     """
 
-    def __init__(self, engine, jobs: int, trace_enabled: bool | None = None):
+    def __init__(
+        self,
+        engine,
+        jobs: int,
+        trace_enabled: bool | None = None,
+        policy: FabricPolicy | None = None,
+        chaos: FabricChaos | None = None,
+    ):
         trace = TRACER.enabled if trace_enabled is None else trace_enabled
         self._pool = WorkPool(
-            jobs, initializer=_init_worker, initargs=(engine, trace)
+            jobs, initializer=_init_worker, initargs=(engine, trace),
+            policy=policy, chaos=chaos,
         )
         self.jobs = self._pool.jobs
+
+    @property
+    def health(self) -> RunHealth:
+        return self._pool.health
+
+    @property
+    def last_failure_reasons(self) -> dict[int, tuple[str, str]]:
+        return self._pool.last_failure_reasons
 
     def shutdown(self) -> None:
         self._pool.shutdown()
@@ -277,8 +662,9 @@ class ParallelRouter:
     ) -> list[ClusterOutcome | None]:
         """Route ``tasks``; returns outcomes aligned with ``tasks``.
 
-        A ``None`` entry means that task's worker failed (or the pool
-        is unavailable) and the caller must route it serially.
+        A ``None`` entry means that task fell off the resilience ladder
+        and the caller must route it serially;
+        ``last_failure_reasons`` says why.
         """
         return self._pool.map(
             _run_cluster_task, tasks, describe=lambda t: f"net {t.name}"

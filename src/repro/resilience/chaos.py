@@ -1,0 +1,124 @@
+"""Deterministic chaos for the execution fabric.
+
+:mod:`repro.flowguard.faults` injects faults into CTS *stages*;
+:class:`FabricChaos` extends the same seeded-Bernoulli discipline to the
+*fabric* — the process pool carrying those stages.  Three failure modes
+cover the rungs of the degradation ladder:
+
+``kill``
+    the worker ``os._exit(1)``s mid-task, breaking the pool
+    (exercises resurrection, blame attribution and quarantine);
+``delay``
+    the worker sleeps before running the task (exercises deadlines);
+``corrupt``
+    the submitted payload is wrapped so pickling fails (exercises the
+    retry path — the pool itself survives a pickling error).
+
+Draws happen **in the parent, in submission order**, from a private
+seeded :class:`random.Random`, so a given ``(rate, seed)`` pair injects
+the same faults at the same submission indices on every run — chaos is
+as reproducible as everything else in this repo.  Because every
+injected fault only changes *where* a task runs (a fresh worker or the
+parent), never *what* it computes, results stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Optional, Tuple
+
+MODES: Tuple[str, ...] = ("kill", "delay", "corrupt")
+
+
+class FabricChaos:
+    """Seeded fault plan for the fabric: draw once per submission."""
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        delay_s: float = 0.05,
+        modes: Tuple[str, ...] = MODES,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0, 1], got {rate}")
+        if delay_s < 0:
+            raise ValueError(f"chaos delay must be >= 0, got {delay_s}")
+        unknown = [m for m in modes if m not in MODES]
+        if unknown or not modes:
+            raise ValueError(
+                f"chaos modes must be a non-empty subset of {MODES}, "
+                f"got {modes!r}"
+            )
+        self.rate = rate
+        self.seed = seed
+        self.delay_s = delay_s
+        self.modes = tuple(modes)
+        self.calls = 0
+        self.injected = 0
+        import random
+
+        self._rng = random.Random(f"fabric-chaos:{seed}")
+
+    def draw(self) -> Optional[Tuple[str, float]]:
+        """One submission's fate: ``None`` or ``(mode, arg)``.
+
+        Always consumes exactly two RNG draws (trip + mode) so the
+        fault pattern at submission index *i* is independent of which
+        modes are enabled downstream of earlier indices.
+        """
+        self.calls += 1
+        trip = self._rng.random() < self.rate
+        # plain random() (not choice()) for the mode pick: choice()
+        # consumes a mode-count-dependent number of RNG bits, which
+        # would let the enabled-modes tuple shift the trip pattern
+        pick = self._rng.random()
+        if not trip:
+            return None
+        mode = self.modes[int(pick * len(self.modes)) % len(self.modes)]
+        self.injected += 1
+        return (mode, self.delay_s if mode == "delay" else 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricChaos(rate={self.rate}, seed={self.seed}, "
+            f"injected={self.injected}/{self.calls})"
+        )
+
+
+def chaos_call(fn, task, mode: str, arg: float):
+    """Run ``fn(task)`` in a worker under an injected fault.
+
+    ``kill`` exits the worker process without cleanup — exactly what a
+    segfault or OOM-kill looks like from the parent.  ``delay`` sleeps
+    first, then computes normally (the deadline, if armed, fires in the
+    parent).  Any other mode is a plain pass-through: ``corrupt`` never
+    reaches a worker because the payload fails to pickle in the parent.
+    """
+    if mode == "kill":
+        os._exit(1)
+    if mode == "delay" and arg > 0:
+        time.sleep(arg)
+    return fn(task)
+
+
+class Unpicklable:
+    """A payload wrapper that refuses to pickle.
+
+    Used by the ``corrupt`` chaos mode: submitting this makes the
+    executor's queue-feeder thread set a :class:`pickle.PicklingError`
+    on the future while the pool itself stays healthy — the canonical
+    transient submission failure.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload) -> None:
+        self.payload = payload
+
+    def __reduce__(self):
+        raise pickle.PicklingError(
+            "chaos-injected unpicklable payload (corrupt mode)"
+        )

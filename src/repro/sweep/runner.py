@@ -30,7 +30,7 @@ determinism tests assert on.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.cts.constraints import TABLE5, Constraints
@@ -43,7 +43,8 @@ from repro.obs.clock import now
 from repro.obs.logcfg import get_logger
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER, Span
-from repro.parallel import WorkPool
+from repro.parallel import WorkPool, resolve_jobs
+from repro.resilience import FabricChaos, FabricPolicy, RunHealth
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.store import RESULT_SCHEMA_VERSION, SweepStore, record_key
 from repro.tech import Technology
@@ -66,6 +67,11 @@ class PointTask:
     fingerprint: str           # design content hash (cache-key half)
     key: str                   # full content-addressed record key
     inject_fault: bool = False  # deterministic per-point fault injection
+    # per-point FlowConfig.jobs override from the oversubscription
+    # clamp (sweep_jobs x point_jobs <= CPU budget); None = as-specced.
+    # Execution-only: cannot change the record (jobs is outside the
+    # canonical config), so clamped and unclamped runs share cache keys.
+    effective_jobs: int | None = None
 
 
 @dataclass(slots=True)
@@ -94,27 +100,36 @@ class SweepReport:
     runtime_s: float
     jsonl_path: Path           # the written sweep JSONL
     cached_indices: frozenset[int] = frozenset()
+    health: RunHealth = field(default_factory=RunHealth)
+    health_path: Path | None = None  # the .health.json sidecar
 
     @property
     def executed(self) -> int:
         return self.cache_misses
 
     def summary(self) -> str:
-        return (
+        line = (
             f"sweep {self.spec.name!r}: {len(self.points)} points, "
             f"{self.cache_hits} cached, {self.cache_misses} executed, "
             f"{self.failed} failed in {self.runtime_s:.2f}s"
         )
+        if not self.health.healthy:
+            line += f" ({self.health.summary()})"
+        return line
 
 
 # ----------------------------------------------------------------------
 # Point execution (both the parent's serial path and the workers)
 # ----------------------------------------------------------------------
-def _execute_point(point: SweepPoint) -> tuple[dict, dict]:
+def _execute_point(
+    point: SweepPoint, jobs_override: int | None = None
+) -> tuple[dict, dict]:
     """Run the flow at one point; returns (quality, flow_events).
 
     The design regenerates deterministically from the catalog, so a
-    worker needs nothing but the point itself.
+    worker needs nothing but the point itself.  ``jobs_override``
+    applies the sweep runner's oversubscription clamp — an
+    execution-only change that cannot alter the quality outputs.
     """
     tech = Technology()
     design = load_design(point.design, scale=point.scale)
@@ -125,11 +140,14 @@ def _execute_point(point: SweepPoint) -> tuple[dict, dict]:
         max_length=TABLE5.max_length,
         max_slew=TABLE5.max_slew,
     )
+    config = point.flow_config()
+    if jobs_override is not None:
+        config.jobs = jobs_override
     engine = HierarchicalCTS(
         tech=tech,
         library=load_library(point.library),
         constraints=constraints,
-        config=point.flow_config(),
+        config=config,
     )
     result = engine.run(design.sinks, design.source)
     report = evaluate_result(result, tech)
@@ -180,7 +198,7 @@ def compute_record(task: PointTask) -> PointOutcome:
                 raise FaultInjected(
                     f"injected sweep fault at point {point.index}"
                 )
-            quality, events = _execute_point(point)
+            quality, events = _execute_point(point, task.effective_jobs)
             record.update(status="ok", error=None, quality=quality,
                           flow_events=events)
         except Exception as exc:  # noqa: BLE001 — degrade, don't abort
@@ -241,18 +259,33 @@ def run_sweep(
     jobs: int = 1,
     fault_rate: float = 0.0,
     fault_seed: int = 0,
+    task_timeout: float = 0.0,
+    task_retries: int = 1,
+    pool_rebuilds: int = 2,
+    fabric_fault_rate: float = 0.0,
+    fabric_fault_seed: int = 0,
 ) -> SweepReport:
     """Run every point of ``spec`` through ``store`` (see module doc).
 
     ``jobs`` is the sweep-level fan-out (each point may additionally
-    set ``FlowConfig.jobs`` for within-point cluster parallelism).
+    set ``FlowConfig.jobs`` for within-point cluster parallelism; the
+    product is clamped to the CPU budget — see the clamp below).
     ``fault_rate``/``fault_seed`` drive the deterministic per-point
-    fault injection the robustness tests use.
+    fault injection the robustness tests use; ``fabric_fault_rate``/
+    ``fabric_fault_seed`` drive the fabric-level chaos harness (worker
+    kills, delays, corrupted payloads) — point faults land in records,
+    fabric faults never do.  ``task_timeout``/``task_retries``/
+    ``pool_rebuilds`` budget the resilience ladder of the sweep's pool.
     """
     t0 = now()
     points = spec.expand()
     injector = FaultInjector(fault_rate, seed=fault_seed, name="sweep") \
         if fault_rate > 0 else None
+    policy = FabricPolicy(task_timeout=task_timeout,
+                          task_retries=task_retries,
+                          pool_rebuilds=pool_rebuilds)
+    chaos = FabricChaos(fabric_fault_rate, seed=fabric_fault_seed) \
+        if fabric_fault_rate > 0 else None
 
     with TRACER.span("sweep", spec=spec.name, points=len(points),
                      jobs=jobs):
@@ -285,10 +318,14 @@ def run_sweep(
         _LOG.info("sweep %r: %d points, %d cached, %d to run",
                   spec.name, len(points), len(records), len(tasks))
 
+        health = RunHealth()
         outcomes: list[PointOutcome | None]
         if jobs != 1 and len(tasks) > 1:
+            tasks = _clamp_point_jobs(tasks, jobs)
             with WorkPool(jobs, initializer=_init_sweep_worker,
-                          initargs=(TRACER.enabled,)) as pool:
+                          initargs=(TRACER.enabled,),
+                          policy=policy, chaos=chaos,
+                          health=health) as pool:
                 outcomes = pool.map(
                     _run_point_worker, tasks,
                     describe=lambda t: t.point.label(),
@@ -321,6 +358,10 @@ def run_sweep(
 
     ordered = [records[p.index] for p in points]
     jsonl_path = store.write_sweep(spec.name, spec.digest(), ordered)
+    # fabric health rides in a sidecar, never in the JSONL: record
+    # bytes must not depend on how bumpy the run was
+    health_path = store.write_health(spec.name, spec.digest(),
+                                     health.to_dict())
     report = SweepReport(
         spec=spec,
         points=points,
@@ -332,6 +373,40 @@ def run_sweep(
         runtime_s=now() - t0,
         jsonl_path=jsonl_path,
         cached_indices=frozenset(hit_indices),
+        health=health,
+        health_path=health_path,
     )
     _LOG.info("%s", report.summary())
     return report
+
+
+def _clamp_point_jobs(tasks: list[PointTask], jobs: int) -> list[PointTask]:
+    """Clamp per-point ``FlowConfig.jobs`` to the machine's CPU budget.
+
+    With sweep-level fan-out active, a point asking for its own cluster
+    pool would oversubscribe: ``sweep_jobs x point_jobs`` processes on
+    ``resolve_jobs(0)`` CPUs.  Each point's jobs is clamped so the
+    product stays within budget (``sweep.jobs.clamped`` counts the
+    clamped points).  Execution-only — clamped points produce the same
+    bytes as unclamped ones.
+    """
+    pool_jobs = resolve_jobs(jobs)
+    budget = resolve_jobs(0)
+    allowed = max(1, budget // pool_jobs)
+    clamped: list[PointTask] = []
+    hits = 0
+    for task in tasks:
+        requested = resolve_jobs(task.point.flow_config().jobs)
+        if requested > allowed:
+            clamped.append(replace(task, effective_jobs=allowed))
+            hits += 1
+            METRICS.inc("sweep.jobs.clamped")
+        else:
+            clamped.append(task)
+    if hits:
+        _LOG.warning(
+            "oversubscription clamp: %d point(s) asked for more than "
+            "%d flow worker(s) under sweep jobs=%d on a %d-CPU budget; "
+            "clamped", hits, allowed, pool_jobs, budget,
+        )
+    return clamped

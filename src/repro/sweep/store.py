@@ -42,7 +42,9 @@ _LOG = get_logger("sweep")
 
 #: Bumped whenever the record layout or the flow semantics behind it
 #: change; part of every cache key, so stale records are never reused.
-RESULT_SCHEMA_VERSION = 1
+#: v2: execution-fabric knobs (``jobs``, deadlines, retry budgets) left
+#: the canonical config, so records no longer vary with them.
+RESULT_SCHEMA_VERSION = 2
 
 
 def canonical_json(obj) -> str:
@@ -141,6 +143,24 @@ class SweepStore:
         tmp.write_text(
             "".join(canonical_json(r) + "\n" for r in records)
         )
+        os.replace(tmp, path)
+        return path
+
+    def health_path(self, name: str, digest: str) -> Path:
+        return self._sweeps / f"{name}-{digest[:12]}.health.json"
+
+    def write_health(self, name: str, digest: str, health: dict) -> Path:
+        """Write a run's fabric-health sidecar next to its JSONL.
+
+        A separate file on purpose: the JSONL carries only the
+        deterministic records (pinned byte-for-byte in CI), while the
+        sidecar describes how bumpy *this particular run* was —
+        timeouts, retries, resurrections, quarantines.
+        """
+        self._sweeps.mkdir(parents=True, exist_ok=True)
+        path = self.health_path(name, digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(health) + "\n")
         os.replace(tmp, path)
         return path
 

@@ -1,0 +1,69 @@
+"""FabricChaos: seeded determinism and the unpicklable payload."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import FabricChaos
+from repro.resilience.chaos import MODES, Unpicklable
+
+
+def _pattern(rate, seed, n=32):
+    chaos = FabricChaos(rate, seed=seed)
+    return [chaos.draw() for _ in range(n)]
+
+
+def test_same_seed_same_fault_pattern():
+    assert _pattern(0.4, 7) == _pattern(0.4, 7)
+    assert _pattern(0.4, 7) != _pattern(0.4, 8)
+
+
+def test_rate_bounds_enforced():
+    with pytest.raises(ValueError):
+        FabricChaos(-0.1)
+    with pytest.raises(ValueError):
+        FabricChaos(1.1)
+    with pytest.raises(ValueError):
+        FabricChaos(0.5, delay_s=-1.0)
+    with pytest.raises(ValueError):
+        FabricChaos(0.5, modes=("kill", "nope"))
+    with pytest.raises(ValueError):
+        FabricChaos(0.5, modes=())
+
+
+def test_rate_extremes():
+    assert all(d is None for d in _pattern(0.0, 0))
+    always = _pattern(1.0, 0)
+    assert all(d is not None for d in always)
+    assert {mode for mode, _ in always} <= set(MODES)
+
+
+def test_draw_counts_injections():
+    chaos = FabricChaos(1.0, seed=0)
+    for _ in range(5):
+        chaos.draw()
+    assert chaos.calls == 5
+    assert chaos.injected == 5
+
+
+def test_mode_restriction_and_delay_arg():
+    chaos = FabricChaos(1.0, seed=1, delay_s=0.25, modes=("delay",))
+    mode, arg = chaos.draw()
+    assert mode == "delay"
+    assert arg == 0.25
+
+
+def test_pattern_is_independent_of_enabled_modes():
+    # trip decisions must line up draw-for-draw regardless of which
+    # failure modes are enabled (two RNG draws per call, always)
+    trips_a = [d is not None for d in _pattern(0.5, 3)]
+    chaos = FabricChaos(0.5, seed=3, modes=("kill",))
+    trips_b = [chaos.draw() is not None for _ in range(32)]
+    assert trips_a == trips_b
+
+
+def test_unpicklable_payload_refuses_to_pickle():
+    wrapped = Unpicklable({"any": "payload"})
+    with pytest.raises(pickle.PicklingError):
+        pickle.dumps(wrapped)
+    assert wrapped.payload == {"any": "payload"}

@@ -3,13 +3,20 @@
 The determinism contract: the stored records and the sweep JSONL are
 byte-identical whether points run serially or under sweep-level
 ``jobs=2``, and a second run recomputes nothing (served entirely from
-the content-addressed store).
+the content-addressed store).  Fabric-level chaos (worker kills,
+delays, corrupt payloads) must leave all of those bytes untouched —
+the bumps land only in the ``RunHealth`` sidecar.
 """
+
+import json
 
 import pytest
 
+import repro.parallel
 from repro.obs.metrics import METRICS
 from repro.sweep import SweepSpec, SweepStore, pareto_front, run_sweep
+from repro.sweep.runner import PointTask, _clamp_point_jobs
+from repro.sweep.spec import SweepPoint
 
 
 def _spec() -> SweepSpec:
@@ -118,3 +125,81 @@ def test_sweep_metrics_are_recorded(tmp_path):
     assert report.failed == 0
     assert METRICS.counter("sweep.point.ok") == 4
     assert METRICS.counter("sweep.cache.miss") == 4
+
+
+# ----------------------------------------------------------------------
+# Fabric chaos: bumps never reach the bytes
+# ----------------------------------------------------------------------
+def test_fabric_chaos_leaves_records_byte_identical(tmp_path):
+    clean = run_sweep(_spec(), SweepStore(tmp_path / "clean"), jobs=1)
+    # seed 7 injects a corrupt payload and a worker kill within the
+    # first four draws (pinned by tests/resilience/test_chaos.py's
+    # determinism), so the retry and resurrection rungs both fire
+    chaotic = run_sweep(
+        _spec(), SweepStore(tmp_path / "chaos"), jobs=2,
+        fabric_fault_rate=0.5, fabric_fault_seed=7, pool_rebuilds=4,
+    )
+    assert not chaotic.health.healthy, "chaos never fired; test is vacuous"
+    assert chaotic.health.retries >= 1
+    assert clean.health.healthy
+    assert _store_bytes(tmp_path / "clean") == _store_bytes(tmp_path / "chaos")
+    assert clean.jsonl_path.read_bytes() == chaotic.jsonl_path.read_bytes()
+
+
+def test_health_sidecar_is_written_next_to_the_jsonl(tmp_path):
+    report = run_sweep(
+        _spec(), SweepStore(tmp_path), jobs=2,
+        fabric_fault_rate=0.5, fabric_fault_seed=7, pool_rebuilds=4,
+    )
+    assert report.health_path is not None
+    assert report.health_path.parent == report.jsonl_path.parent
+    payload = json.loads(report.health_path.read_text())
+    assert payload == report.health.to_dict()
+    assert payload["healthy"] is False
+    # the JSONL itself carries no health data — bumpiness must not
+    # change record bytes
+    assert b'"healthy"' not in report.jsonl_path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Oversubscription clamp
+# ----------------------------------------------------------------------
+def _point_task(index, jobs):
+    point = SweepPoint(
+        index=index, design="s38584", scale=0.02,
+        overrides=(("jobs", jobs),), skew_bound=25.0, library="default",
+    )
+    return PointTask(point=point, fingerprint="f" * 8, key=f"k{index}")
+
+
+def test_clamp_caps_the_job_product(monkeypatch):
+    monkeypatch.setattr(repro.parallel.os, "cpu_count", lambda: 4)
+    tasks = [_point_task(0, jobs=4), _point_task(1, jobs=2),
+             _point_task(2, jobs=1)]
+    clamped = _clamp_point_jobs(tasks, jobs=2)  # budget 4 // 2 = 2 each
+    assert [t.effective_jobs for t in clamped] == [2, None, None]
+    assert METRICS.counter("sweep.jobs.clamped") == 1
+    # jobs=0 ("auto") points resolve to the whole machine and clamp too
+    auto = _clamp_point_jobs([_point_task(3, jobs=0)], jobs=2)
+    assert auto[0].effective_jobs == 2
+
+
+def test_oversubscribed_sweep_matches_serial(tmp_path, monkeypatch):
+    monkeypatch.setattr(repro.parallel.os, "cpu_count", lambda: 2)
+    spec = SweepSpec(
+        name="unit-jobs",
+        designs=["s38584"],
+        scales=[0.02],
+        grid={"jobs": [4], "eps": [0.1, 1.0]},
+    )
+    serial = run_sweep(spec, SweepStore(tmp_path / "serial"), jobs=1)
+    pooled = run_sweep(spec, SweepStore(tmp_path / "pooled"), jobs=2)
+    # every pooled point asked for 4 flow workers on a 2-CPU budget
+    # under sweep jobs=2 -> clamped to 1; records must not notice
+    assert METRICS.counter("sweep.jobs.clamped") == 2
+    assert serial.jsonl_path.read_bytes() == pooled.jsonl_path.read_bytes()
+    assert _store_bytes(tmp_path / "serial") == _store_bytes(
+        tmp_path / "pooled")
+    # jobs is execution-only: both grid values collapse onto canonical
+    # configs without a "jobs" key
+    assert all("jobs" not in r["config"]["flow"] for r in pooled.records)

@@ -86,6 +86,34 @@ def test_bench_rejects_bad_sizes(capsys):
     assert "error" in err and "positive" in err
 
 
+@pytest.mark.parametrize("argv,needle", [
+    (["flow", "--task-timeout", "-1"], ">= 0"),
+    (["flow", "--task-retries", "-1"], ">= 0"),
+    (["flow", "--pool-rebuilds", "-2"], ">= 0"),
+    (["flow", "--fabric-fault-rate", "1.5"], "in [0, 1]"),
+    (["flow", "--fabric-fault-rate", "nope"], "invalid float"),
+    (["sweep", "spec.json", "--task-timeout", "-0.5"], ">= 0"),
+    (["sweep", "spec.json", "--fabric-fault-rate", "-0.1"], "in [0, 1]"),
+])
+def test_fabric_flags_reject_bad_values(capsys, argv, needle):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "error" in err and needle in err
+
+
+def test_chaotic_flow_reports_health(capsys):
+    # seeded chaos on a tiny flow: exit 0 and a fabric-health line
+    assert main([
+        "flow", "--design", "s38584", "--scale", "0.05", "--jobs", "2",
+        "--fabric-fault-rate", "0.5", "--fabric-fault-seed", "7",
+        "--pool-rebuilds", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fabric incidents" in out
+
+
 def test_flow_trace_roundtrip(tmp_path, capsys):
     trace_path = tmp_path / "flow.trace.json"
     assert main(["flow", "--design", "s38584", "--scale", "0.05",
