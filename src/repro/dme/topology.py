@@ -19,10 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.geometry import Point, rotate45
 from repro.geometry.segment import Rect
 from repro.netlist.sink import Sink
 from repro.netlist.topology import TopologyNode
+from repro.obs.metrics import METRICS
+
+#: Counters that prove the matrix-form agglomeration actually ran; the
+#: hot-path guard test (tests/core/test_batched_hot_path_guard.py)
+#: fails if a traced flow leaves any of them at zero.
+BATCH_COUNTERS = ("dme.batch.merges",)
 
 
 @dataclass(slots=True)
@@ -54,6 +62,9 @@ def _merge_clusters(a: _Cluster, b: _Cluster) -> _Cluster:
 def _agglomerate(
     sinks: list[Sink], cost: Callable[[_Cluster, _Cluster], float]
 ) -> TopologyNode:
+    """Reference scalar agglomeration, kept as the equivalence oracle
+    for :func:`_agglomerate_batched` (see
+    ``tests/dme/test_topology_batched_property.py``)."""
     if not sinks:
         raise ValueError("cannot build a topology over zero sinks")
     clusters = [_leaf_cluster(s) for s in sinks]
@@ -73,9 +84,47 @@ def _agglomerate(
     return clusters[0].topo
 
 
+def _agglomerate_batched(sinks: list[Sink], use_delay: bool) -> TopologyNode:
+    """Vectorised agglomeration: full pairwise cost matrix per merge.
+
+    Identical to :func:`_agglomerate` — the matrix entries repeat
+    ``Rect.gap``'s arithmetic operation for operation, masking the
+    diagonal and lower triangle to +inf makes the flat C-order argmin
+    the exact row-major upper-triangle scan of the reference (so cost
+    ties pick the same pair), and cluster-list mutation uses the same
+    pop(j)/pop(i)/append discipline so indices line up at every step.
+    """
+    if not sinks:
+        raise ValueError("cannot build a topology over zero sinks")
+    clusters = [_leaf_cluster(s) for s in sinks]
+    METRICS.inc("dme.batch.merges", max(0, len(clusters) - 1))
+    while len(clusters) > 1:
+        m = len(clusters)
+        ulo = np.array([c.region.ulo for c in clusters])
+        uhi = np.array([c.region.uhi for c in clusters])
+        vlo = np.array([c.region.vlo for c in clusters])
+        vhi = np.array([c.region.vhi for c in clusters])
+        du = np.maximum(
+            0.0, np.maximum.outer(ulo, ulo) - np.minimum.outer(uhi, uhi))
+        dv = np.maximum(
+            0.0, np.maximum.outer(vlo, vlo) - np.minimum.outer(vhi, vhi))
+        costm = np.maximum(du, dv)
+        if use_delay:
+            delay = np.array([c.delay_est for c in clusters])
+            costm = np.maximum(
+                costm, np.abs(np.subtract.outer(delay, delay)))
+        costm[np.tril_indices(m)] = np.inf
+        i, j = divmod(int(np.argmin(costm)), m)
+        merged = _merge_clusters(clusters[i], clusters[j])
+        clusters.pop(j)
+        clusters.pop(i)
+        clusters.append(merged)
+    return clusters[0].topo
+
+
 def greedy_dist(sinks: list[Sink]) -> TopologyNode:
     """Merge the two closest subtrees at each step."""
-    return _agglomerate(sinks, lambda a, b: a.region.distance(b.region))
+    return _agglomerate_batched(sinks, use_delay=False)
 
 
 def greedy_merge(sinks: list[Sink]) -> TopologyNode:
@@ -85,12 +134,7 @@ def greedy_merge(sinks: list[Sink]) -> TopologyNode:
     the connection distance, or the detour the delay imbalance forces when
     it exceeds that distance — i.e. ``max(dist, |delay_a - delay_b|)``.
     """
-
-    def cost(a: _Cluster, b: _Cluster) -> float:
-        d = a.region.distance(b.region)
-        return max(d, abs(a.delay_est - b.delay_est))
-
-    return _agglomerate(sinks, cost)
+    return _agglomerate_batched(sinks, use_delay=True)
 
 
 def bi_partition(sinks: list[Sink]) -> TopologyNode:

@@ -15,6 +15,54 @@ import numpy as np
 from repro.geometry import Point
 from repro.partition.mcf import balanced_assign
 
+#: Upper bound on the elements of any point x center distance block.
+#: Lloyd iterations chunk the point rows so peak memory stays ~tens of
+#: MB no matter how large n * k grows (100k sinks x 3k+ centers would
+#: otherwise materialise multi-GB matrices per iteration).
+_CHUNK_ELEMS = 4_000_000
+
+
+def _nearest_center_labels(coords: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Row-chunked argmin over Manhattan distances to ``centers``.
+
+    Chunking over point rows is result-invariant: each row's argmin is
+    independent, so the labels are bitwise identical to the one-shot
+    n x k matrix evaluation.
+    """
+    n, k = len(coords), len(centers)
+    labels = np.empty(n, dtype=np.int64)
+    step = max(1, _CHUNK_ELEMS // max(k, 1))
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        d = (
+            np.abs(coords[lo:hi, None, 0] - centers[None, :, 0])
+            + np.abs(coords[lo:hi, None, 1] - centers[None, :, 1])
+        )
+        labels[lo:hi] = np.argmin(d, axis=1)
+    return labels
+
+
+def _group_medians(
+    coords: np.ndarray, labels: np.ndarray, centers: np.ndarray
+) -> np.ndarray:
+    """Coordinate-wise median of each label group; empty groups keep
+    their previous center.
+
+    One stable argsort groups all members, so the whole recenter step is
+    O(n log n) instead of the O(n * k) of masking per cluster.  Each
+    group's median sees the same member multiset as ``coords[labels == j]``
+    would, hence the same value bit for bit.
+    """
+    k = len(centers)
+    out = centers.copy()
+    order = np.argsort(labels, kind="stable")
+    bounds = np.searchsorted(labels[order], np.arange(k + 1))
+    for j in range(k):
+        lo, hi = bounds[j], bounds[j + 1]
+        if hi > lo:
+            out[j] = np.median(coords[order[lo:hi]], axis=0)
+    return out
+
 
 def kmeans(
     points: list[Point],
@@ -37,19 +85,12 @@ def kmeans(
 
     labels = np.zeros(n, dtype=np.int64)
     for _ in range(max_iters):
-        dists = (
-            np.abs(coords[:, None, 0] - centers[None, :, 0])
-            + np.abs(coords[:, None, 1] - centers[None, :, 1])
-        )
-        new_labels = np.argmin(dists, axis=1)
+        new_labels = _nearest_center_labels(coords, centers)
         if np.array_equal(new_labels, labels) and _ > 0:
             break
         labels = new_labels
-        for j in range(k):
-            members = coords[labels == j]
-            if len(members):
-                # the L1 centroid is the coordinate-wise median
-                centers[j] = np.median(members, axis=0)
+        # the L1 centroid is the coordinate-wise median
+        centers = _group_medians(coords, labels, centers)
     return [Point(float(c[0]), float(c[1])) for c in centers], [int(l) for l in labels]
 
 
@@ -98,13 +139,6 @@ def balanced_kmeans(
     assignment = balanced_assign(points, centers, capacity=max_size)
     # recentre once after rebalancing to keep centers honest
     coords = np.array([[p.x, p.y] for p in points])
-    arr = np.array(assignment)
-    new_centers = []
-    for j in range(k):
-        members = coords[arr == j]
-        if len(members):
-            med = np.median(members, axis=0)
-            new_centers.append(Point(float(med[0]), float(med[1])))
-        else:
-            new_centers.append(centers[j])
-    return new_centers, assignment
+    old = np.array([[c.x, c.y] for c in centers])
+    med = _group_medians(coords, np.array(assignment), old)
+    return [Point(float(c[0]), float(c[1])) for c in med], assignment

@@ -35,6 +35,15 @@ except ImportError:  # pragma: no cover - scipy is a standard dependency
 
 _INF = float("inf")
 
+#: Above this many point x center matrix elements, ``balanced_assign``
+#: streams distances in row blocks instead of materialising the full
+#: matrix (and its construction temporaries) — the regret-greedy tier
+#: is the only one reachable at that size anyway.
+_DENSE_LIMIT = 50_000_000
+
+#: Row-block size (in matrix elements) for the streamed paths.
+_CHUNK_ELEMS = 4_000_000
+
 
 class _Graph:
     """Residual graph with paired forward/backward arcs."""
@@ -178,6 +187,17 @@ def balanced_assign(
     py = np.array([p.y for p in points])
     cx = np.array([c.x for c in centers])
     cy = np.array([c.y for c in centers])
+    if n * k > _DENSE_LIMIT:
+        # Only the regret tier is reachable here, provably: the MCF
+        # tier needs n * cand <= exact_limit (so n <= 800 and
+        # n * k <= 640k with k <= n), and the LSA tier needs
+        # n * k * capacity <= lsa_limit < 2 * _DENSE_LIMIT.  Skipping
+        # the full n x k matrix (whose elementwise construction peaks
+        # at ~3 copies) keeps 100k-sink instances out of OOM territory.
+        _LOG.debug("balanced_assign: %d x %d beyond dense limit; "
+                   "streamed regret-greedy", n, k)
+        METRICS.inc("partition.assign_regret_greedy")
+        return _regret_greedy_streamed(px, py, cx, cy, capacity)
     dists = np.abs(px[:, None] - cx[None, :]) + np.abs(py[:, None] - cy[None, :])
 
     cand = min(max(candidates, 1), k)
@@ -257,18 +277,75 @@ def _regret_greedy(dists: np.ndarray, capacity: int) -> list[int]:
     saturate.
     """
     n, k = dists.shape
-    order_all = np.argsort(dists, axis=1)
-    best = dists[np.arange(n), order_all[:, 0]]
-    second = dists[np.arange(n), order_all[:, min(1, k - 1)]]
-    regret_order = np.argsort(-(second - best))
+    # row-chunked argsort: each row is sorted independently, so chunking
+    # changes nothing about the result while bounding the int64 scratch;
+    # int32 columns halve the resident candidate table (k << 2^31)
+    order_all = np.empty((n, k), dtype=np.int32)
+    step = max(1, _CHUNK_ELEMS // max(k, 1))
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        order_all[lo:hi] = np.argsort(dists[lo:hi], axis=1)
+    rows = np.arange(n)
+    best = dists[rows, order_all[:, 0]]
+    second = dists[rows, order_all[:, min(1, k - 1)]]
+    return _regret_scan(order_all, best, second, capacity)
 
+
+def _regret_greedy_streamed(
+    px: np.ndarray, py: np.ndarray, cx: np.ndarray, cy: np.ndarray,
+    capacity: int,
+) -> list[int]:
+    """Regret-greedy without ever materialising the full distance
+    matrix: each row block's distances are computed, argsorted, and
+    discarded.  Per-row results (candidate order, best/second distance)
+    are bitwise what :func:`_regret_greedy` computes from the dense
+    matrix, so the assignment is identical wherever both are feasible.
+    """
+    n, k = len(px), len(cx)
+    order_all = np.empty((n, k), dtype=np.int32)
+    best = np.empty(n)
+    second = np.empty(n)
+    step = max(1, _CHUNK_ELEMS // max(k, 1))
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        d = (np.abs(px[lo:hi, None] - cx[None, :])
+             + np.abs(py[lo:hi, None] - cy[None, :]))
+        o = np.argsort(d, axis=1)
+        order_all[lo:hi] = o
+        r = np.arange(hi - lo)
+        best[lo:hi] = d[r, o[:, 0]]
+        second[lo:hi] = d[r, o[:, min(1, k - 1)]]
+    return _regret_scan(order_all, best, second, capacity)
+
+
+def _regret_scan(
+    order_all: np.ndarray, best: np.ndarray, second: np.ndarray,
+    capacity: int,
+) -> list[int]:
+    """The greedy claim loop both regret-greedy variants share.
+
+    Each point takes the first non-full center in its candidate order.
+    The scalar scan covers the short prefix that almost always hits;
+    rows that exhaust it (late points under tight capacity) fall back
+    to one vectorised first-True search over the whole row — the same
+    center the scalar scan would have reached, without the O(k) Python
+    loop.
+    """
+    n, k = order_all.shape
+    regret_order = np.argsort(-(second - best))
     remaining = np.full(k, capacity, dtype=np.int64)
     assignment = [-1] * n
     for i in regret_order:
-        for j in order_all[i]:
+        row = order_all[i]
+        chosen = -1
+        for j in row[:64]:
             if remaining[j] > 0:
-                assignment[int(i)] = int(j)
-                remaining[j] -= 1
+                chosen = int(j)
                 break
+        if chosen < 0:
+            # feasibility (k * capacity >= n) guarantees a True exists
+            chosen = int(row[int(np.argmax(remaining[row] > 0))])
+        assignment[int(i)] = chosen
+        remaining[chosen] -= 1
     assert all(a >= 0 for a in assignment)
     return assignment

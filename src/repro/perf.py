@@ -130,6 +130,36 @@ def write_bench_json(payload: dict, path: str | Path) -> Path:
     return path
 
 
+def merge_bench_records(payload: dict, path: str | Path) -> dict:
+    """Merge ``payload`` with the bench file at ``path``, preserving
+    records the new run did not re-measure.
+
+    Records in the existing file whose (sinks, jobs) point is absent
+    from the new payload — the at-scale 10k/100k entries that only
+    dedicated runs refresh — are carried over; re-measured points are
+    replaced.  Existing records are dropped wholesale on a schema
+    mismatch (stale shape must not survive a version bump).  Returns a
+    new payload with the merged record list sorted by (sinks, jobs).
+    """
+    path = Path(path)
+    records = list(payload["records"])
+    seen = {(r["sinks"], r.get("jobs", 1)) for r in records}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            old = None
+        if old and old.get("schema_version") == payload.get("schema_version"):
+            records.extend(
+                r for r in old.get("records", [])
+                if (r["sinks"], r.get("jobs", 1)) not in seen
+            )
+    records.sort(key=lambda r: (r["sinks"], r.get("jobs", 1)))
+    merged = dict(payload)
+    merged["records"] = records
+    return merged
+
+
 def format_perf_table(payload: dict) -> str:
     """Human-readable rendering of a ``run_perf`` payload."""
     stages = sorted({

@@ -16,6 +16,7 @@ comparison — sweeps are hundreds of points, not millions.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.sweep.spec import DEFAULT_OBJECTIVES, OBJECTIVE_FIELDS
@@ -79,8 +80,11 @@ def pareto_front(
 ) -> ParetoResult:
     """Annotate ``records`` with dominance; see the module docstring.
 
-    Records that failed (``status != "ok"``) or lack an objective value
-    are skipped — a degraded point cannot eliminate a healthy one.
+    Records that failed (``status != "ok"``), lack an objective value or
+    carry a non-finite one are skipped — a degraded point cannot
+    eliminate a healthy one, and a NaN objective is undominatable
+    (every comparison is false), so letting it through would plant an
+    uneliminable phantom on the front.
     """
     for obj in objectives:
         if obj not in OBJECTIVE_FIELDS:
@@ -99,10 +103,14 @@ def pareto_front(
                 any(obj not in quality for obj in objectives):
             skipped += 1
             continue
+        values = {obj: float(quality[obj]) for obj in objectives}
+        if not all(math.isfinite(v) for v in values.values()):
+            skipped += 1
+            continue
         entries.append(ParetoEntry(
             key=str(record.get("key", f"#{len(entries)}")),
             record=record,
-            objectives={obj: float(quality[obj]) for obj in objectives},
+            objectives=values,
         ))
 
     # pass 1: front membership (nothing dominates a front point)

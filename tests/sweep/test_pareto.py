@@ -70,6 +70,23 @@ def test_missing_objective_value_is_skipped():
     assert result.skipped == 1
 
 
+def test_non_finite_objectives_are_skipped_not_ranked():
+    """Regression: NaN is undominatable (every comparison is false), so
+    a NaN-skew record used to land on the front and could never be
+    eliminated; -inf would dominate every healthy point."""
+    records = [
+        _rec("a", 5.0, 5.0),
+        _rec("nan-skew", float("nan"), 1.0),
+        _rec("inf-latency", 1.0, float("inf")),
+        _rec("ninf", float("-inf"), float("-inf")),  # would dominate all
+    ]
+    result = pareto_front(records, objectives=OBJ)
+    assert [e.key for e in result.front] == ["a"]
+    assert result.skipped == 3
+    by_key = {e.key: e for e in result.entries}
+    assert by_key["a"].on_front and not by_key["a"].dominated_by
+
+
 def test_unknown_and_duplicate_objectives_rejected():
     with pytest.raises(ValueError, match="unknown objective"):
         pareto_front([], objectives=("bogus",))

@@ -109,6 +109,57 @@ def test_empty_tree_rejected():
         ElmoreAnalyzer(tech()).analyze(RoutedTree(Point(0, 0)))
 
 
+def test_two_edge_stage_slew_counts_wire_once():
+    """Regression: wire slew must PERI the stage-root slew against the
+    *cumulative* in-stage wire delay exactly once.
+
+    The old code PERIed ``LN9 * stage_wire_delay[nid]`` against
+    ``slew[parent]``, which already contained the parent's wire PERI —
+    double-counting every prefix of the stage path.  Hand-computed on a
+    two-edge stage root -> a -> b (unit_res=1, unit_cap=0.2, sink 4 fF):
+
+        d1 = 50 * (0.2*50/2 + 0.2*50 + 4) * 1e-3 = 0.95 ps
+        d2 = 50 * (0.2*50/2 + 4) * 1e-3        = 0.45 ps
+        slew(b) = sqrt(10^2 + (LN9 * (d1 + d2))^2)
+    """
+    from repro.tech.technology import LN9
+
+    t = tech()
+    tree = RoutedTree(Point(0, 0))
+    a = tree.add_child(tree.root, Point(50, 0))
+    b = tree.add_child(a, Point(100, 0), sink=Sink("s", Point(100, 0), cap=4.0))
+    rep = ElmoreAnalyzer(t, source_slew=10.0).analyze(tree)
+    d1 = 50 * (0.2 * 50 / 2 + 0.2 * 50 + 4.0) * 1e-3
+    d2 = 50 * (0.2 * 50 / 2 + 4.0) * 1e-3
+    assert rep.slew[a] == pytest.approx(
+        math.sqrt(10.0**2 + (LN9 * d1) ** 2), rel=1e-15)
+    assert rep.slew[b] == pytest.approx(
+        math.sqrt(10.0**2 + (LN9 * (d1 + d2)) ** 2), rel=1e-15)
+    # the buggy value double-counted the d1 prefix
+    buggy = math.sqrt(10.0**2 + (LN9 * d1) ** 2 + (LN9 * (d1 + d2)) ** 2)
+    assert rep.slew[b] < buggy
+
+
+def test_buffer_restarts_slew_accumulation():
+    """Wire slew below a buffer PERIs against the buffer's output slew,
+    not against anything accumulated upstream of the buffer."""
+    from repro.tech.technology import LN9
+
+    t = tech()
+    lib = default_library()
+    buf = lib.by_name("CLKBUF_X8")
+    tree = RoutedTree(Point(0, 0))
+    mid = tree.add_child(tree.root, Point(200, 0))
+    tree.set_buffer(mid, buf)
+    s = tree.add_child(mid, Point(400, 0),
+                       sink=Sink("s", Point(400, 0), cap=4.0))
+    rep = ElmoreAnalyzer(t, source_slew=10.0).analyze(tree)
+    load = 0.2 * 200 + 4.0  # buffer stage: 200 um of wire + sink pin
+    d = 200 * (0.2 * 200 / 2 + 4.0) * 1e-3
+    expected = math.sqrt(buf.output_slew(load) ** 2 + (LN9 * d) ** 2)
+    assert rep.slew[s] == pytest.approx(expected, rel=1e-15)
+
+
 def test_buffer_total_cap_counts_buffer_pins():
     t = tech()
     lib = default_library()

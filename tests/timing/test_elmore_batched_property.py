@@ -1,0 +1,100 @@
+"""Property test: the level-batched Elmore analysis is *identical* to
+the reference per-object walk — every arrival, slew, and stage load,
+bit for bit.
+
+The equivalence argument (docs/ALGORITHMS.md): numpy float64
+elementwise arithmetic is IEEE-identical to Python scalar arithmetic
+when the operation order matches, the bottom-up pass accumulates each
+parent's child contributions in child-slot order (exactly the
+reference loop's association order), and the top-down pass consumes
+only parent-level values that are final before the level is evaluated.
+Hypothesis hunts for counterexamples on random tree shapes, including
+buffer-heavy deep chains where stage cuts restart the slew
+accumulation many times along one root-to-sink path.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point
+from repro.netlist import RoutedTree, Sink
+from repro.tech import Technology, default_library
+from repro.timing import ElmoreAnalyzer
+
+LIB = default_library()
+
+
+def _random_tree(seed: int, n_nodes: int, chainy: bool) -> RoutedTree:
+    """Random routed tree; ``chainy`` biases parents toward the newest
+    node, producing deep buffer-laden chains (many stage cuts on one
+    path) while staying under the batched path's depth cutoff."""
+    rng = random.Random(seed)
+    tree = RoutedTree(Point(0.0, 0.0))
+    ids = [tree.root]
+    for i in range(n_nodes):
+        parent = ids[-1] if chainy and rng.random() < 0.8 else rng.choice(ids)
+        p = Point(rng.uniform(0, 400.0), rng.uniform(0, 400.0))
+        sink = None
+        if rng.random() < 0.5:
+            sink = Sink(f"s{i}", p, cap=rng.uniform(0.5, 8.0),
+                        subtree_delay=rng.choice([0.0, rng.uniform(0, 40.0)]))
+        nid = tree.add_child(parent, p, sink=sink)
+        if rng.random() < (0.45 if chainy else 0.2):
+            tree.set_buffer(nid, rng.choice(LIB.buffers))
+        if rng.random() < 0.15:
+            tree.set_detour(nid, rng.uniform(0.0, 30.0))
+        ids.append(nid)
+    if not tree.sink_node_ids():
+        # guarantee at least one sink so the analyzer accepts the tree
+        p = Point(rng.uniform(0, 400.0), rng.uniform(0, 400.0))
+        tree.add_child(ids[-1], p, sink=Sink("s_last", p, cap=1.0))
+    return tree
+
+
+def _assert_reports_identical(batched, reference):
+    # exact ==, never approx: the batched engine promises bit-identity
+    assert batched.arrival == reference.arrival
+    assert batched.sink_arrival == reference.sink_arrival
+    assert batched.stage_load == reference.stage_load
+    assert batched.slew == reference.slew
+    assert batched.wirelength == reference.wirelength
+    assert batched.total_cap == reference.total_cap
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_nodes=st.integers(1, 120),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_matches_reference_random_shapes(seed, n_nodes):
+    tree = _random_tree(seed, n_nodes, chainy=False)
+    an = ElmoreAnalyzer(Technology(), source_slew=10.0)
+    _assert_reports_identical(an.analyze(tree), an.analyze_reference(tree))
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_nodes=st.integers(8, 120),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_matches_reference_buffer_heavy_chains(seed, n_nodes):
+    """Deep chains with ~45% buffer density: every stage cut must zero
+    the in-stage wire-delay accumulator and restart slew from the
+    buffer's output slew, exactly as the scalar walk does."""
+    tree = _random_tree(seed, n_nodes, chainy=True)
+    an = ElmoreAnalyzer(Technology(), source_slew=10.0)
+    _assert_reports_identical(an.analyze(tree), an.analyze_reference(tree))
+
+
+def test_degenerate_chain_falls_back_to_reference():
+    """A pure chain (depth == node count) exceeds the level cutoff;
+    analyze() must still return the reference answer."""
+    tree = RoutedTree(Point(0.0, 0.0))
+    prev = tree.root
+    for i in range(199):
+        prev = tree.add_child(prev, Point(float(i + 1), 0.0))
+    tree.add_child(prev, Point(200.0, 0.0),
+                   sink=Sink("s", Point(200.0, 0.0), cap=2.0))
+    an = ElmoreAnalyzer(Technology())
+    _assert_reports_identical(an.analyze(tree), an.analyze_reference(tree))
