@@ -463,6 +463,46 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.resilience import FabricPolicy
+    from repro.serve import CTSServer, CTSService
+    from repro.sweep import SweepStore
+
+    policy = FabricPolicy(
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
+        pool_rebuilds=args.pool_rebuilds,
+    )
+    service = CTSService(
+        SweepStore(args.store),
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.default_deadline,
+        policy=policy,
+        chaos=_fabric_chaos(args),
+    )
+    server = CTSServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve: listening on "
+              f"http://{server.host}:{server.port} "
+              f"(store: {args.store}, jobs: {service.jobs}, "
+              f"queue: {args.queue_depth})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
 def cmd_pareto(args) -> int:
     import json
 
@@ -667,6 +707,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", action="store_true",
                          help="machine-readable output")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve CTS requests over the result store (HTTP)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=_nonneg_int, default=8765,
+        help="TCP port; 0 picks an ephemeral port (default: 8765)",
+    )
+    p_serve.add_argument(
+        "--store", default="sweep-store",
+        help="content-addressed store root (default: sweep-store)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="dispatcher slots: 1 = in-process execution (default), "
+             "N > 1 = N one-worker pools, 0 = one per CPU",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=_positive_int, default=64,
+        help="max queued requests before admission rejects with 429 "
+             "(default: 64)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=_nonneg_float, default=0.0,
+        metavar="SECONDS",
+        help="deadline for requests that set none (0 = unbounded, "
+             "the default)",
+    )
+    _add_fabric_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_pareto = sub.add_parser(
         "pareto", help="Pareto front of a sweep store or JSONL"

@@ -48,6 +48,21 @@ class FaultInjector:
             return True
         return False
 
+    def trip_at(self, index: int) -> bool:
+        """Positional draw: a pure function of ``(rate, seed, index)``.
+
+        Unlike :meth:`trip`, the outcome does not depend on how many
+        draws came before it, so callers that skip already-done work
+        (e.g. sweep cache hits) see the same failure pattern as a cold
+        run — the fault schedule is keyed to *what* runs, not to the
+        order it happens to run in.
+        """
+        self.calls += 1
+        if random.Random(f"{self.seed}:{index}").random() < self.rate:
+            self.fired += 1
+            return True
+        return False
+
     def check(self, what: str | None = None) -> None:
         """Raise :class:`FaultInjected` when this call trips."""
         if self.trip():

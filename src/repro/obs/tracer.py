@@ -138,6 +138,8 @@ class _SpanContext:
                 tracer.roots.append(span)
         stack.append(span)
         span.start = now()
+        if tracer._subscribers:
+            tracer._notify(span, len(stack))
         return span
 
     def __exit__(self, *exc) -> bool:
@@ -158,6 +160,9 @@ class Tracer:
         self.roots: list[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # span-open listeners (see subscribe); empty list = zero cost
+        # on the span path beyond one truthiness check
+        self._subscribers: list = []
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -209,6 +214,37 @@ class Tracer:
             else:
                 with self._lock:
                     self.roots.append(root)
+
+    # ------------------------------------------------------------------
+    # Live span events (the serve layer's progress feed)
+    # ------------------------------------------------------------------
+    def subscribe(self, fn) -> None:
+        """Call ``fn(span, depth)`` whenever a span *opens*.
+
+        The hook fires on the opening thread with the span's start
+        already stamped, so a listener can stream live progress
+        (:mod:`repro.serve` forwards these to clients as NDJSON
+        events).  Listeners must be fast and must never raise; a
+        raising listener is dropped.  With no subscribers the span
+        path pays only one truthiness check.
+        """
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(fn)
+            except ValueError:
+                pass
+
+    def _notify(self, span: Span, depth: int) -> None:
+        for fn in list(self._subscribers):
+            try:
+                fn(span, depth)
+            except Exception:  # noqa: BLE001 — listeners never break a flow
+                self.unsubscribe(fn)
 
     # ------------------------------------------------------------------
     def enable(self) -> None:

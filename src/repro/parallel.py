@@ -406,7 +406,21 @@ class WorkPool:
         return label in self._quarantined
 
     # -- mapping --------------------------------------------------------
-    def map(self, fn, tasks: list, describe=str) -> list:
+    def run_one(self, fn, task, describe=str, timeout: float | None = None):
+        """Run a single task; the serve layer's submission hook.
+
+        A thin :meth:`map` of one that keeps the whole resilience
+        ladder (deadline, retry, resurrect, quarantine) per submission.
+        ``timeout`` overrides the policy's ``task_timeout`` for this
+        call only — how :mod:`repro.serve` rides a *per-request*
+        deadline on the shared ladder.  Returns the result, or ``None``
+        when the task fell off the ladder (``last_failure_reasons[0]``
+        says why).
+        """
+        return self.map(fn, [task], describe=describe, timeout=timeout)[0]
+
+    def map(self, fn, tasks: list, describe=str,
+            timeout: float | None = None) -> list:
         """Run ``fn`` over ``tasks``; returns results aligned to tasks.
 
         A ``None`` entry means that task fell off the resilience ladder
@@ -415,7 +429,9 @@ class WorkPool:
         contract both the framework and the sweep runner rely on.
         ``describe(task)`` labels failure logs, health events and the
         quarantine ledger; ``last_failure_reasons`` explains each
-        ``None`` until the next ``map`` call.
+        ``None`` until the next ``map`` call.  ``timeout``, when given,
+        overrides ``policy.task_timeout`` for this call (0 disarms the
+        deadline; ``None`` keeps the policy's value).
         """
         results: list = [None] * len(tasks)
         self.last_failure_reasons = {}
@@ -475,7 +491,7 @@ class WorkPool:
                 self._teardown_executor()
                 continue
             requeue = self._collect(submitted, labels, transient,
-                                    isolation, results)
+                                    isolation, results, timeout)
             queue = sorted(set(queue) | set(requeue))
         return results
 
@@ -486,6 +502,7 @@ class WorkPool:
         transient: dict[int, int],
         isolation: set[int],
         results: list,
+        timeout_override: float | None = None,
     ) -> list[int]:
         """Resolve one submitted batch; returns indices to re-queue.
 
@@ -497,7 +514,8 @@ class WorkPool:
         budget, because an expiry kills the pool and costs a
         resurrection life.
         """
-        timeout = self.policy.task_timeout
+        timeout = self.policy.task_timeout if timeout_override is None \
+            else timeout_override
         requeue: list[int] = []
         killed_by_deadline = False
         broke = False

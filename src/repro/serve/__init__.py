@@ -1,0 +1,41 @@
+"""CTS-as-a-service: an asyncio front-end over the content-addressed store.
+
+``repro serve`` turns the sweep machinery into a long-running request
+broker: identical requests are answered straight from the
+:class:`~repro.sweep.store.SweepStore`, concurrent duplicate misses
+coalesce onto one in-flight computation, and genuine new work rides a
+bounded priority queue onto the same execution fabric sweeps use.  See
+docs/SERVE.md for the API and semantics.
+"""
+
+from repro.serve.http import CTSServer, MAX_BODY
+from repro.serve.queue import AdmissionQueue, AdmissionRejected
+from repro.serve.schema import (
+    REQUEST_FIELDS,
+    RequestError,
+    ServeRequest,
+    parse_request,
+    parse_request_bytes,
+)
+from repro.serve.service import (
+    SERVE_COUNTERS,
+    CTSService,
+    DeadlineExceeded,
+    ServeResult,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "CTSServer",
+    "CTSService",
+    "DeadlineExceeded",
+    "MAX_BODY",
+    "REQUEST_FIELDS",
+    "RequestError",
+    "SERVE_COUNTERS",
+    "ServeRequest",
+    "ServeResult",
+    "parse_request",
+    "parse_request_bytes",
+]

@@ -1,0 +1,76 @@
+"""Bounded priority admission queue for the CTS service.
+
+Admission control is the service's backpressure valve: the queue holds
+at most ``depth`` pending flights, and a submission against a full
+queue raises the typed :class:`AdmissionRejected` (HTTP 429) instead
+of buffering unboundedly — a loaded server degrades by refusing new
+work crisply, never by growing its latency tail without bound.
+
+Ordering is priority-first (higher ``priority`` runs sooner), FIFO
+within a tier (a monotonic sequence number breaks ties), so two equal
+requests are served in arrival order and a high-priority request
+overtakes the backlog without starving it out of order.
+
+The queue is asyncio-native and single-loop: ``put_nowait`` is called
+from request handlers, ``get`` is awaited by the dispatcher workers.
+``serve.queue.depth`` tracks the live depth as a gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+
+from repro.obs.metrics import METRICS
+
+
+class AdmissionRejected(Exception):
+    """Typed rejection: the request queue is at capacity (HTTP 429)."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        super().__init__(
+            f"request queue is full ({depth} pending); retry later"
+        )
+
+
+class AdmissionQueue:
+    """A bounded, priority-ordered, asyncio-awaitable queue."""
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._heap: list[tuple[int, int, object]] = []
+        self._seq = itertools.count()   # FIFO tie-break within a tier
+        self._ready = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.depth
+
+    def put_nowait(self, item, priority: int = 0) -> int:
+        """Admit ``item``; returns its queue position (1-based).
+
+        Raises :class:`AdmissionRejected` when the queue is full — the
+        caller converts that into a 429 and the client backs off.
+        """
+        if self.full:
+            raise AdmissionRejected(self.depth)
+        heapq.heappush(self._heap, (-priority, next(self._seq), item))
+        METRICS.set_gauge("serve.queue.depth", len(self._heap))
+        self._ready.set()
+        return len(self._heap)
+
+    async def get(self):
+        """Pop the highest-priority item, waiting for one if empty."""
+        while not self._heap:
+            self._ready.clear()
+            await self._ready.wait()
+        _, _, item = heapq.heappop(self._heap)
+        METRICS.set_gauge("serve.queue.depth", len(self._heap))
+        return item

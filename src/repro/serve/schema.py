@@ -1,0 +1,132 @@
+"""Request schema and validation for the CTS service.
+
+A request is one JSON object naming a catalog design and a knob
+combo — exactly the vocabulary of a sweep spec's explicit point::
+
+    {
+      "design": "s38584",
+      "scale": 0.05,
+      "config": {"eps": 0.3, "skew_bound": 60, "library": "lean"},
+      "priority": 5,
+      "deadline_s": 30.0,
+      "stream": true
+    }
+
+Validation is strict and happens before anything runs: unknown fields,
+unknown designs, unknown knobs, out-of-range scales all raise a typed
+:class:`RequestError` (HTTP 400).  A valid request resolves — through
+:func:`repro.sweep.spec.resolve_point`, the *same* normalisation path
+sweeps use — to a :class:`~repro.sweep.spec.SweepPoint` and its
+content-addressed cache key, so a served request and a swept point
+with the same knobs hit the same store entry byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.designs import design_fingerprint, design_names
+from repro.sweep.spec import SweepPoint, resolve_point, sweepable_keys
+from repro.sweep.store import record_key
+
+
+class RequestError(ValueError):
+    """A malformed or unknown request payload (HTTP 400)."""
+
+
+#: Top-level request fields (everything else is rejected).
+REQUEST_FIELDS = (
+    "design", "scale", "config", "priority", "deadline_s", "stream",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeRequest:
+    """One validated CTS request, resolved to its cache key."""
+
+    point: SweepPoint          # normalised knobs (index is always 0)
+    fingerprint: str           # design content hash (cache-key half)
+    key: str                   # full content-addressed record key
+    priority: int = 0          # higher runs sooner (FIFO within a tier)
+    deadline_s: float = 0.0    # per-request budget; 0 = server default
+    stream: bool = False       # NDJSON progress stream vs one response
+
+    def label(self) -> str:
+        return f"serve {self.key[:12]}"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def parse_request(data) -> ServeRequest:
+    """Validate one request payload; :class:`RequestError` on any flaw."""
+    _require(isinstance(data, dict),
+             f"request must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(REQUEST_FIELDS))
+    _require(not unknown,
+             f"unknown request field(s) {unknown}; "
+             f"known: {sorted(REQUEST_FIELDS)}")
+
+    design = data.get("design")
+    _require(isinstance(design, str) and design,
+             "request needs a 'design' (string)")
+    known_designs = set(design_names())
+    _require(design in known_designs,
+             f"unknown design {design!r}; catalog has "
+             f"{sorted(known_designs)}")
+
+    scale = data.get("scale", 1.0)
+    _require(isinstance(scale, (int, float))
+             and not isinstance(scale, bool),
+             f"'scale' must be a number, got {scale!r}")
+    _require(0 < scale <= 1, f"'scale' must be in (0, 1], got {scale}")
+
+    config = data.get("config", {})
+    _require(isinstance(config, dict),
+             f"'config' must be an object of knobs, got "
+             f"{type(config).__name__}")
+    allowed = set(sweepable_keys())
+    bad = sorted(set(config) - allowed)
+    _require(not bad,
+             f"unknown knob(s) {bad}; sweepable: {sorted(allowed)}")
+
+    priority = data.get("priority", 0)
+    _require(isinstance(priority, int) and not isinstance(priority, bool),
+             f"'priority' must be an integer, got {priority!r}")
+
+    deadline = data.get("deadline_s", 0.0)
+    _require(isinstance(deadline, (int, float))
+             and not isinstance(deadline, bool) and deadline >= 0,
+             f"'deadline_s' must be a number >= 0, got {deadline!r}")
+
+    stream = data.get("stream", False)
+    _require(isinstance(stream, bool),
+             f"'stream' must be a boolean, got {stream!r}")
+
+    try:
+        point = resolve_point(0, design, float(scale), dict(config))
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+    fingerprint = design_fingerprint(design, point.scale)
+    key = record_key(fingerprint, point.canonical_config())
+    return ServeRequest(
+        point=point,
+        fingerprint=fingerprint,
+        key=key,
+        priority=int(priority),
+        deadline_s=float(deadline),
+        stream=stream,
+    )
+
+
+def parse_request_bytes(body: bytes) -> ServeRequest:
+    """Parse a raw JSON body; typed :class:`RequestError` throughout."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestError(f"request body is not valid JSON ({exc})") \
+            from exc
+    return parse_request(data)

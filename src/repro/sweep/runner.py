@@ -25,6 +25,14 @@ stamped ``worker=<pid>``), and the registry carries
 ``sweep.cache.hit`` / ``sweep.cache.miss`` / ``sweep.point.ok`` /
 ``sweep.point.failed`` counters — the numbers the CI smoke job and the
 determinism tests assert on.
+
+Two determinism details the tests pin: spec points that expand to the
+same cache key execute **once** per run (the later ones are served from
+the first outcome and counted as hits, ``sweep.cache.dedup``), and
+fault injection draws are keyed on each point's index
+(:meth:`~repro.flowguard.faults.FaultInjector.trip_at`), so the trip
+pattern is a pure function of ``(rate, seed, spec)`` — a partially
+cached rerun trips exactly the points a cold run would have tripped.
 """
 
 from __future__ import annotations
@@ -293,6 +301,8 @@ def run_sweep(
         runtime_by_index: dict[int, float] = {}
         tasks: list[PointTask] = []
         hit_indices: set[int] = set()
+        pending: dict[str, int] = {}    # key -> first miss's point index
+        duplicates: dict[int, str] = {}  # in-run dup point index -> key
         for point in points:
             fingerprint = design_fingerprint(point.design, point.scale)
             key = record_key(fingerprint, point.canonical_config())
@@ -307,16 +317,31 @@ def run_sweep(
                 records[point.index] = cached
                 runtime_by_index[point.index] = 0.0
                 hit_indices.add(point.index)
+            elif key in pending:
+                # two spec points expanding to the same cache key: only
+                # the first executes; this one is served from the first
+                # outcome below and counted as a hit (it never runs)
+                METRICS.inc("sweep.cache.hit")
+                METRICS.inc("sweep.cache.dedup")
+                duplicates[point.index] = key
+                hit_indices.add(point.index)
             else:
                 METRICS.inc("sweep.cache.miss")
+                pending[key] = point.index
+                # fault draws are keyed on the point's index (not on
+                # miss encounter order), so the trip pattern is a pure
+                # function of (rate, seed, spec) — independent of which
+                # points happen to be cached already
                 tasks.append(PointTask(
                     point=point,
                     fingerprint=fingerprint,
                     key=key,
-                    inject_fault=injector.trip() if injector else False,
+                    inject_fault=injector.trip_at(point.index)
+                    if injector else False,
                 ))
-        _LOG.info("sweep %r: %d points, %d cached, %d to run",
-                  spec.name, len(points), len(records), len(tasks))
+        _LOG.info("sweep %r: %d points, %d cached, %d deduped, %d to run",
+                  spec.name, len(points), len(records), len(duplicates),
+                  len(tasks))
 
         health = RunHealth()
         outcomes: list[PointOutcome | None]
@@ -334,6 +359,7 @@ def run_sweep(
             outcomes = [None] * len(tasks)
 
         failed = 0
+        record_by_key: dict[str, dict] = {}
         for task, outcome in zip(tasks, outcomes):
             if outcome is None:
                 # pool unavailable or the worker died: degrade to
@@ -354,7 +380,16 @@ def run_sweep(
                 METRICS.inc("sweep.point.failed")
                 failed += 1
             records[task.point.index] = record
+            record_by_key[task.key] = record
             runtime_by_index[task.point.index] = outcome.runtime_s
+
+        # in-run duplicates are served from the first outcome at their
+        # own index — content identical, never executed twice
+        for index, key in duplicates.items():
+            dup = dict(record_by_key[key])
+            dup["index"] = index
+            records[index] = dup
+            runtime_by_index[index] = 0.0
 
     ordered = [records[p.index] for p in points]
     jsonl_path = store.write_sweep(spec.name, spec.digest(), ordered)

@@ -110,6 +110,46 @@ class SweepPoint:
         return f"p{self.index}[{self.design}@{self.scale:g}: {knobs}]"
 
 
+def resolve_point(
+    index: int, design: str, scale: float, combo: dict
+) -> SweepPoint:
+    """Resolve one knob combo into a normalised :class:`SweepPoint`.
+
+    The single normalisation path shared by :meth:`SweepSpec.expand`
+    and the serve layer (:mod:`repro.serve.schema`), so a served
+    request and a swept point with the same knobs land on the same
+    canonical config — and therefore the same cache key.
+    """
+    skew_bound = float(combo.get("skew_bound", TABLE5.skew_bound))
+    library = combo.get("library", "default")
+    if library not in library_names():
+        raise ValueError(
+            f"unknown buffer library {library!r}; "
+            f"choices: {library_names()}"
+        )
+    overrides = {
+        k: v for k, v in combo.items() if k not in _ENGINE_KEYS
+    }
+    # validates field names and normalises value types eagerly;
+    # execution-fabric knobs (jobs, task_timeout, ...) are absent
+    # from the canonical to_dict() form, so read those back off the
+    # config itself — they sweep execution, not results
+    cfg = FlowConfig.from_dict(overrides)
+    canon = cfg.to_dict()
+    resolved = tuple(sorted(
+        (k, canon[k] if k in canon else getattr(cfg, k))
+        for k in overrides
+    ))
+    return SweepPoint(
+        index=index,
+        design=design,
+        scale=float(scale),
+        overrides=resolved,
+        skew_bound=skew_bound,
+        library=library,
+    )
+
+
 @dataclass(slots=True)
 class SweepSpec:
     """A validated sweep specification."""
@@ -189,34 +229,7 @@ class SweepSpec:
     def _resolve(
         self, index: int, design: str, scale: float, combo: dict
     ) -> SweepPoint:
-        skew_bound = float(combo.get("skew_bound", TABLE5.skew_bound))
-        library = combo.get("library", "default")
-        if library not in library_names():
-            raise ValueError(
-                f"unknown buffer library {library!r}; "
-                f"choices: {library_names()}"
-            )
-        overrides = {
-            k: v for k, v in combo.items() if k not in _ENGINE_KEYS
-        }
-        # validates field names and normalises value types eagerly;
-        # execution-fabric knobs (jobs, task_timeout, ...) are absent
-        # from the canonical to_dict() form, so read those back off the
-        # config itself — they sweep execution, not results
-        cfg = FlowConfig.from_dict(overrides)
-        canon = cfg.to_dict()
-        resolved = tuple(sorted(
-            (k, canon[k] if k in canon else getattr(cfg, k))
-            for k in overrides
-        ))
-        return SweepPoint(
-            index=index,
-            design=design,
-            scale=float(scale),
-            overrides=resolved,
-            skew_bound=skew_bound,
-            library=library,
-        )
+        return resolve_point(index, design, scale, combo)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -23,7 +23,10 @@ compact separators, carrying no wall-clock times, hostnames or
 timestamps — the same point computed on any machine, serially or under
 any ``--jobs``, produces byte-identical files (the determinism contract
 ``tests/sweep/test_determinism.py`` pins).  Writes are atomic
-(temp file + rename), so a killed sweep never leaves a torn record.
+(temp file + rename), so a killed sweep never leaves a torn record; a
+process killed *between* the temp write and the rename leaves only a
+``*.tmp.<pid>`` orphan, which the next store open collects (never a
+live writer's file — see :meth:`SweepStore._tmp_is_stale`).
 
 Only successful records are content-addressed; failed points ride in
 the sweep's JSONL for reporting but are retried on the next run.
@@ -34,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.obs.logcfg import get_logger
@@ -63,6 +67,27 @@ def record_key(design_fingerprint: str, canonical_config: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: A ``*.tmp.<pid>`` file whose owner is dead is collected once it is
+#: this old — young enough to matter, old enough that a recycled pid or
+#: clock skew cannot race a write in flight (writes take milliseconds).
+_TMP_DEAD_GRACE_S = 60.0
+#: ...and collected regardless of apparent ownership once this old: a
+#: live process never keeps a temp file around (write + rename is
+#: immediate), so an hour-old one is a leak behind a reused pid.
+_TMP_MAX_AGE_S = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0); unsure counts as alive."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:        # EPERM etc.: exists but not ours
+        return True
+    return True
+
+
 class SweepStore:
     """Filesystem store of sweep records (see module docstring)."""
 
@@ -70,6 +95,60 @@ class SweepStore:
         self.root = Path(root)
         self._records = self.root / "records"
         self._sweeps = self.root / "sweeps"
+        # fail at open, not at first write: an unusable root (file in
+        # the way, no permission) raises OSError here, which the CLI
+        # maps to a typed exit-2 before a server or sweep starts
+        self._records.mkdir(parents=True, exist_ok=True)
+        self._sweeps.mkdir(parents=True, exist_ok=True)
+        # a process killed between tmp-write and os.replace leaves its
+        # temp file behind forever; opening the store collects such
+        # orphans (never a live writer's file — see _tmp_is_stale)
+        self._collect_orphan_tmp()
+
+    # ------------------------------------------------------------------
+    # Orphaned temp files
+    # ------------------------------------------------------------------
+    def _collect_orphan_tmp(self) -> int:
+        """Remove stale ``*.tmp.<pid>`` leftovers; returns the count."""
+        removed = 0
+        for directory in (self._records, self._sweeps):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.tmp.*"):
+                if not self._tmp_is_stale(path):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue   # raced another opener, or perms: skip
+                removed += 1
+                _LOG.warning("collected orphaned temp file %s", path)
+        return removed
+
+    def _tmp_is_stale(self, path: Path) -> bool:
+        """True when a temp file is a safe-to-delete orphan.
+
+        Ownership-safe: this process's own files and any fresh file
+        whose owner pid is alive are left alone (an atomic write may be
+        in flight).  A dead owner's file is stale after a short grace;
+        any temp file older than :data:`_TMP_MAX_AGE_S` is stale no
+        matter what a recycled pid claims.
+        """
+        try:
+            age = max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return False       # gone already (concurrent os.replace)
+        try:
+            pid = int(path.suffix[1:])
+        except ValueError:
+            pid = None         # unparseable owner: age decides
+        if pid == os.getpid():
+            return False
+        if age >= _TMP_MAX_AGE_S:
+            return True
+        if pid is not None and _pid_alive(pid):
+            return False
+        return age >= _TMP_DEAD_GRACE_S
 
     # ------------------------------------------------------------------
     # Point records

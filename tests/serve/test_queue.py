@@ -1,0 +1,61 @@
+"""Admission queue: bounds, priority order, FIFO tie-break, wakeup."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import AdmissionQueue, AdmissionRejected
+
+
+def test_depth_must_be_positive():
+    with pytest.raises(ValueError, match=">= 1"):
+        AdmissionQueue(0)
+
+
+def test_put_reports_position_and_rejects_when_full():
+    q = AdmissionQueue(2)
+    assert q.put_nowait("a") == 1
+    assert q.put_nowait("b") == 2
+    assert q.full
+    with pytest.raises(AdmissionRejected) as excinfo:
+        q.put_nowait("c")
+    assert excinfo.value.depth == 2
+    assert "retry later" in str(excinfo.value)
+
+
+def test_priority_order_with_fifo_tie_break():
+    async def scenario():
+        q = AdmissionQueue(8)
+        q.put_nowait("low-1", priority=0)
+        q.put_nowait("high", priority=5)
+        q.put_nowait("low-2", priority=0)
+        q.put_nowait("urgent", priority=9)
+        return [await q.get() for _ in range(4)]
+
+    assert asyncio.run(scenario()) == ["urgent", "high", "low-1", "low-2"]
+
+
+def test_get_waits_for_a_put():
+    async def scenario():
+        q = AdmissionQueue(2)
+        getter = asyncio.create_task(q.get())
+        await asyncio.sleep(0)          # getter parks on the event
+        assert not getter.done()
+        q.put_nowait("item")
+        return await asyncio.wait_for(getter, 5)
+
+    assert asyncio.run(scenario()) == "item"
+
+
+def test_drained_queue_admits_again():
+    async def scenario():
+        q = AdmissionQueue(1)
+        q.put_nowait("a")
+        with pytest.raises(AdmissionRejected):
+            q.put_nowait("b")
+        assert await q.get() == "a"
+        assert not q.full
+        assert q.put_nowait("c") == 1
+        return await q.get()
+
+    assert asyncio.run(scenario()) == "c"

@@ -120,6 +120,91 @@ def test_fault_pattern_is_independent_of_jobs(tmp_path):
     assert a.jsonl_path.read_bytes() == b.jsonl_path.read_bytes()
 
 
+def test_fault_pattern_is_independent_of_cache_state(tmp_path):
+    """A half-warmed store must trip the same points as a cold run.
+
+    Pre-fix, the injector was drawn once per *miss* in encounter
+    order, so cached points shifted every later point onto a
+    different draw; the trip pattern is now keyed on point index.
+    """
+    cold = run_sweep(_spec(), SweepStore(tmp_path / "cold"), jobs=1,
+                     fault_rate=0.5, fault_seed=3)
+    cold_failed = {r["index"] for r in cold.records
+                   if r["status"] == "error"}
+    assert cold_failed, "seed 3 must trip at least one point"
+
+    # warm a fresh store with the seed=0 half of the grid (full-spec
+    # indices 0 and 2), fault-free
+    half = SweepSpec(name="half", designs=["s38584"], scales=[0.02],
+                     grid={"eps": [0.1, 1.0], "seed": [0]})
+    warm_store = SweepStore(tmp_path / "warm")
+    warmed = run_sweep(half, warm_store, jobs=1)
+    assert warmed.failed == 0
+
+    report = run_sweep(_spec(), warm_store, jobs=1,
+                       fault_rate=0.5, fault_seed=3)
+    assert report.cache_hits == 2
+    warm_failed = {r["index"] for r in report.records
+                   if r["status"] == "error"}
+    # misses are full-spec indices 1 and 3; they must trip exactly
+    # where the cold run tripped them
+    assert warm_failed == cold_failed & {1, 3}
+
+
+# ----------------------------------------------------------------------
+# In-run duplicate keys: one execution, served to every twin
+# ----------------------------------------------------------------------
+def test_duplicate_grid_point_executes_once(tmp_path):
+    spec = SweepSpec(
+        name="unit-dup",
+        designs=["s38584"],
+        scales=[0.02],
+        grid={"eps": [0.1, 1.0]},
+        # expands to the same cache key as the eps=0.1 grid point
+        points=[{"eps": 0.1}],
+    )
+    store = SweepStore(tmp_path)
+    report = run_sweep(spec, store, jobs=1)
+    assert len(report.points) == 3
+    assert report.cache_misses == 2          # unique keys only
+    assert report.cache_hits == 1            # the duplicate
+    assert report.cached_indices == frozenset({2})
+    assert len(store.keys()) == 2            # executed exactly once
+    assert METRICS.counter("sweep.cache.dedup") == 1
+    assert METRICS.counter("sweep.cache.hit") == 1
+    assert METRICS.counter("sweep.point.ok") == 2
+
+    dup, first = report.records[2], report.records[0]
+    assert dup["index"] == 2 and first["index"] == 0
+    content = lambda r: {k: v for k, v in r.items() if k != "index"}
+    assert content(dup) == content(first)
+
+    # the rerun serves all three from the store
+    METRICS.reset()
+    again = run_sweep(spec, store, jobs=1)
+    assert again.cache_hits == 3
+    assert again.cache_misses == 0
+
+
+def test_duplicate_of_a_failed_point_shares_the_error(tmp_path):
+    spec = SweepSpec(
+        name="unit-dup-fail",
+        designs=["s38584"],
+        scales=[0.02],
+        # both points expand to the same key; index-0 draw trips at
+        # rate 1.0, and the twin must inherit the error, not re-run
+        grid={"eps": [0.1]},
+        points=[{"eps": 0.1}],
+    )
+    report = run_sweep(spec, SweepStore(tmp_path), jobs=1,
+                       fault_rate=1.0, fault_seed=0)
+    assert report.cache_misses == 1
+    assert report.cache_hits == 1
+    assert [r["status"] for r in report.records] == ["error", "error"]
+    assert [r["index"] for r in report.records] == [0, 1]
+    assert report.failed == 1                # one execution, one failure
+
+
 def test_sweep_metrics_are_recorded(tmp_path):
     report = run_sweep(_spec(), SweepStore(tmp_path), jobs=1)
     assert report.failed == 0

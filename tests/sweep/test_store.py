@@ -1,6 +1,8 @@
 """Content-addressed store semantics: keys, atomicity, self-healing."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -77,6 +79,76 @@ def test_read_jsonl_typed_errors(tmp_path):
         read_jsonl(path)
 
 
+# ----------------------------------------------------------------------
+# Orphaned temp files (a writer killed between tmp-write and os.replace)
+# ----------------------------------------------------------------------
+def _plant_tmp(directory, name, age_s=0.0):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text("{torn")
+    if age_s:
+        old = time.time() - age_s
+        os.utime(path, (old, old))
+    return path
+
+
+def _dead_pid() -> int:
+    """A pid that is certainly not a live process."""
+    pid = 2 ** 22  # beyond any default pid_max
+    while True:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except OSError:
+            pass
+        pid -= 1
+
+
+def test_orphaned_tmp_is_collected_on_store_open(tmp_path):
+    dead = _dead_pid()
+    orphan_r = _plant_tmp(tmp_path / "records", f"a.tmp.{dead}", age_s=600)
+    orphan_s = _plant_tmp(tmp_path / "sweeps", f"b.tmp.{dead}", age_s=600)
+    SweepStore(tmp_path)
+    assert not orphan_r.exists()
+    assert not orphan_s.exists()
+
+
+def test_fresh_or_owned_tmp_is_never_collected(tmp_path):
+    dead = _dead_pid()
+    # a fresh file with a dead owner could be a pid-reuse race: kept
+    fresh_dead = _plant_tmp(tmp_path / "records", f"a.tmp.{dead}")
+    # our own in-flight write, however old the clock claims: kept
+    own = _plant_tmp(tmp_path / "records", f"b.tmp.{os.getpid()}",
+                     age_s=7200)
+    # a live foreign writer's fresh file: kept
+    live = _plant_tmp(tmp_path / "records", "c.tmp.1", age_s=600)
+    SweepStore(tmp_path)
+    assert fresh_dead.exists()
+    assert own.exists()
+    assert live.exists()
+
+
+def test_ancient_tmp_is_collected_regardless_of_owner(tmp_path):
+    # an hour-old temp file is a leak even if its pid looks alive
+    ancient = _plant_tmp(tmp_path / "records", "a.tmp.1", age_s=7200)
+    unparseable = _plant_tmp(tmp_path / "records", "b.tmp.x", age_s=7200)
+    SweepStore(tmp_path)
+    assert not ancient.exists()
+    assert not unparseable.exists()
+
+
+def test_collecting_orphans_spares_real_records(tmp_path):
+    store = SweepStore(tmp_path)
+    key = record_key("fp", {})
+    store.put(key, _record(key))
+    dead = _dead_pid()
+    _plant_tmp(tmp_path / "records", f"z.tmp.{dead}", age_s=600)
+    reopened = SweepStore(tmp_path)
+    assert reopened.get(key) == _record(key)
+    assert reopened.keys() == [key]
+
+
 def test_load_records_dispatches_on_path_kind(tmp_path):
     store = SweepStore(tmp_path / "store")
     key = record_key("fp", {})
@@ -89,3 +161,13 @@ def test_load_records_dispatches_on_path_kind(tmp_path):
     empty.mkdir()
     with pytest.raises(ValueError, match="no sweep records"):
         load_records(empty)
+
+
+def test_unusable_root_fails_at_open_not_first_write(tmp_path):
+    """An unusable store root raises OSError at construction (the CLI
+    maps it to exit 2) instead of booting a server or sweep that can
+    only fail on its first write."""
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory\n")
+    with pytest.raises(OSError):
+        SweepStore(blocker / "store")
