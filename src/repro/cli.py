@@ -22,7 +22,16 @@ Commands:
   points are never recomputed;
 * ``pareto``  — extract the Pareto front (with dominance provenance)
   from a sweep store or JSONL, as a table, ``--json``, or an SVG
-  scatter.
+  scatter;
+* ``fit``     — fit the cross-design metric predictor on a store (or
+  JSONL) and write the content-addressed model artifact;
+* ``predict`` — answer "what would this config do?" from a fitted
+  model in microseconds, optionally few-shot-calibrated, without
+  running the flow;
+* ``suggest`` — successive-halving over a sweep spec's grid ranked by
+  predicted Pareto contribution; emits the next round's spec JSON;
+* ``store``   — store maintenance: ``stats`` (records per design /
+  schema / last use) and ``gc`` (dry-run by default).
 
 ``designs`` and ``check`` take ``--json`` for machine-readable output.
 
@@ -475,6 +484,11 @@ def cmd_serve(args) -> int:
         task_retries=args.task_retries,
         pool_rebuilds=args.pool_rebuilds,
     )
+    predictor = None
+    if args.model:
+        from repro.predict import load_model
+
+        predictor = load_model(args.model)
     service = CTSService(
         SweepStore(args.store),
         jobs=args.jobs,
@@ -482,6 +496,7 @@ def cmd_serve(args) -> int:
         default_deadline_s=args.default_deadline,
         policy=policy,
         chaos=_fabric_chaos(args),
+        predictor=predictor,
     )
     server = CTSServer(service, host=args.host, port=args.port)
 
@@ -490,7 +505,8 @@ def cmd_serve(args) -> int:
         print(f"repro serve: listening on "
               f"http://{server.host}:{server.port} "
               f"(store: {args.store}, jobs: {service.jobs}, "
-              f"queue: {args.queue_depth})")
+              f"queue: {args.queue_depth}, model: "
+              f"{predictor.key()[:12] if predictor else 'none'})")
         try:
             await server.serve_forever()
         finally:
@@ -503,6 +519,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _validate_objectives(objectives, records, path) -> None:
+    """Typed errors for bad ``--objectives`` (exit 2, not a KeyError).
+
+    A requested objective must be a known metric name *and* actually
+    present in these records' quality columns — records written by an
+    older schema simply do not carry newer metrics, and the error
+    should say so instead of surfacing a lookup failure downstream.
+    """
+    from repro.sweep import OBJECTIVE_FIELDS
+
+    columns: set[str] = set()
+    for record in records:
+        if record.get("status") == "ok":
+            columns.update((record.get("quality") or {}).keys())
+    for objective in objectives:
+        if objective not in OBJECTIVE_FIELDS:
+            raise ValueError(
+                f"unknown objective {objective!r}; choices: "
+                f"{list(OBJECTIVE_FIELDS)}"
+            )
+        if objective not in columns:
+            available = [o for o in OBJECTIVE_FIELDS if o in columns]
+            raise ValueError(
+                f"objective {objective!r} is not a metric column of "
+                f"the records in {path} (available: {available})"
+            )
+
+
 def cmd_pareto(args) -> int:
     import json
 
@@ -511,6 +555,7 @@ def cmd_pareto(args) -> int:
     objectives = tuple(args.objectives) if args.objectives \
         else DEFAULT_OBJECTIVES
     records = load_records(args.path)
+    _validate_objectives(objectives, records, args.path)
     result = pareto_front(records, objectives=objectives)
     if not result.entries:
         raise ValueError(
@@ -570,6 +615,221 @@ def cmd_pareto(args) -> int:
             title=f"Pareto: {x_obj} vs {y_obj}",
         )
         print(f"scatter written to {args.svg}")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    import json
+
+    from repro.predict import extract_dataset, fit, in_sample_mae
+    from repro.sweep import load_records
+
+    records = load_records(args.path)
+    dataset = extract_dataset(records, jobs=args.jobs)
+    model = fit(dataset, l2=args.l2)
+    path = model.save(args.out)
+    mae = in_sample_mae(model, dataset)
+    if args.json:
+        print(json.dumps({
+            "artifact": str(path),
+            "key": model.key(),
+            "rows": dataset.rows,
+            "skipped": dataset.skipped,
+            "designs": list(model.training_designs),
+            "feature_digest": model.feature_digest,
+            "training_digest": model.training_digest,
+            "l2": model.l2,
+            "in_sample_mae": mae,
+        }, indent=2))
+        return 0
+    print(format_table(
+        ["target", "in-sample MAE"],
+        [[t, round(e, 3)] for t, e in mae.items()],
+        title=f"fit on {dataset.rows} record(s) from "
+              f"{len(model.training_designs)} design(s)",
+    ))
+    if dataset.skipped:
+        print(f"skipped {dataset.skipped} unscoreable record(s)")
+    print(f"model {model.key()[:16]} written to {path}")
+    return 0
+
+
+def _knob_pair(text: str) -> tuple[str, str]:
+    key, sep, raw = text.partition("=")
+    if not sep or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {text!r}"
+        )
+    return key.strip(), raw.strip()
+
+
+def cmd_predict(args) -> int:
+    import json
+
+    from repro.predict import (
+        calibrated_predict,
+        few_shot_calibrate,
+        load_model,
+    )
+    from repro.sweep import load_records
+    from repro.sweep.spec import resolve_point, sweepable_keys
+
+    model = load_model(args.model)
+    combo = {}
+    for key, raw in args.set or []:
+        if key not in sweepable_keys():
+            raise ValueError(
+                f"unknown knob {key!r}; choices: {list(sweepable_keys())}"
+            )
+        try:
+            combo[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            combo[key] = raw          # bare strings, e.g. library=lean
+    point = resolve_point(0, args.design, args.scale, combo)
+    calibration = None
+    if args.calibrate:
+        records = load_records(args.calibrate)
+        calibration = few_shot_calibrate(
+            model, records, args.design, float(args.scale), k=args.k)
+    predicted = calibrated_predict(
+        model, calibration, args.design, float(args.scale),
+        point.canonical_config())
+    if args.json:
+        print(json.dumps({
+            "design": args.design,
+            "scale": args.scale,
+            "config": point.canonical_config(),
+            "calibrated": calibration is not None
+            and calibration.points > 0,
+            "calibration_points": calibration.points
+            if calibration else 0,
+            "predicted": predicted,
+        }, indent=2))
+        return 0
+    label = "calibrated" if calibration and calibration.points \
+        else "uncalibrated"
+    print(format_table(
+        ["metric", "predicted"],
+        [[t, round(v, 2)] for t, v in predicted.items()],
+        title=f"{args.design}@{args.scale:g} ({label} model "
+              f"{model.key()[:12]})",
+    ))
+    return 0
+
+
+def cmd_suggest(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.predict import (
+        few_shot_calibrate,
+        load_model,
+        suggest_next_round,
+    )
+    from repro.sweep import SweepStore, load_spec
+    from repro.sweep.store import canonical_json
+
+    model = load_model(args.model)
+    spec = load_spec(args.specfile)
+    stored = frozenset()
+    store = None
+    if args.store:
+        if not Path(args.store).is_dir():
+            raise ValueError(f"{args.store}: not a sweep store root")
+        store = SweepStore(args.store)
+        stored = frozenset(store.keys())
+    calibration = None
+    if args.calibrate:
+        if store is None:
+            raise ValueError("--calibrate needs --store (the k cheap "
+                             "points come from stored records)")
+        design = args.design or spec.designs[0]
+        scale = args.scale if args.scale is not None \
+            else float(spec.scales[0])
+        calibration = few_shot_calibrate(
+            model, store.records(), design, scale, k=args.calibrate)
+    report = suggest_next_round(
+        model, spec, stored, design=args.design, scale=args.scale,
+        rounds=args.rounds, calibration=calibration)
+    if args.out and report.next_spec is not None:
+        out = Path(args.out)
+        out.write_text(canonical_json(report.next_spec.to_dict()) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif report.next_spec is None:
+        print(f"nothing to suggest: every grid point of {spec.name!r} "
+              f"for {report.design}@{report.scale:g} is already in "
+              f"the store")
+    else:
+        rows = [
+            [c.point.index,
+             " ".join(f"{k}={v}" for k, v in sorted(c.point.knobs()
+                                                    .items())),
+             *[round(c.predicted[o], 1) for o in report.objectives]]
+            for c in report.survivors
+        ]
+        print(format_table(
+            ["#", "knobs", *report.objectives],
+            rows,
+            title=f"suggested next round for {report.design}"
+                  f"@{report.scale:g} ({report.candidates} candidates, "
+                  f"{report.measured} already measured)",
+        ))
+    if args.out and report.next_spec is not None:
+        print(f"next-round spec written to {args.out}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_store_stats(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sweep import SweepStore
+
+    if not Path(args.root).is_dir():
+        raise ValueError(f"{args.root}: not a sweep store root")
+    stats = SweepStore(args.root).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    rows = [
+        [design, entry["records"], entry["last_used"]]
+        for design, entry in stats["designs"].items()
+    ]
+    print(format_table(
+        ["design", "records", "last used"],
+        rows,
+        title=f"store {args.root}",
+    ))
+    schemas = ", ".join(f"v{v}: {n}" for v, n in stats["schemas"].items())
+    print(f"{stats['records']} record(s), {stats['corrupt']} corrupt, "
+          f"{stats['bytes']} bytes; schemas: {schemas or 'none'}; "
+          f"{len(stats['sweeps'])} sweep file(s)")
+    return 0
+
+
+def cmd_store_gc(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sweep import SweepStore
+
+    if not Path(args.root).is_dir():
+        raise ValueError(f"{args.root}: not a sweep store root")
+    report = SweepStore(args.root).gc(
+        schema_version=args.schema_version, dry_run=not args.apply)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    verb = "removed" if args.apply else "would remove"
+    print(f"store gc ({'apply' if args.apply else 'dry run'}): "
+          f"{verb} {report['candidates']} file(s) — "
+          f"{len(report['stale_schema'])} stale-schema record(s), "
+          f"{len(report['corrupt'])} corrupt, "
+          f"{len(report['orphans'])} orphaned temp file(s)")
+    if not args.apply and report["candidates"]:
+        print("re-run with --apply to delete")
     return 0
 
 
@@ -739,6 +999,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline for requests that set none (0 = unbounded, "
              "the default)",
     )
+    p_serve.add_argument(
+        "--model", metavar="PATH",
+        help="model artifact (from 'repro fit'): enables /v1/predict "
+             "and the 'predicted' hint on /v1/cts admissions",
+    )
     _add_fabric_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -761,6 +1026,124 @@ def build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument("--json", action="store_true",
                           help="machine-readable output")
     p_pareto.set_defaults(func=cmd_pareto)
+
+    p_fit = sub.add_parser(
+        "fit", help="fit the cross-design metric predictor on a store"
+    )
+    p_fit.add_argument(
+        "path", help="store root directory or one sweep's JSONL file"
+    )
+    p_fit.add_argument(
+        "--out", default="models",
+        help="directory for the content-addressed model artifact "
+             "(default: models)",
+    )
+    p_fit.add_argument(
+        "--l2", type=_nonneg_float, default=1e-2,
+        help="ridge strength on the standardized system "
+             "(default: 0.01)",
+    )
+    p_fit.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for design-feature extraction: 1 = "
+             "serial (default), N > 1 = pool of N, 0 = one per CPU",
+    )
+    p_fit.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_predict = sub.add_parser(
+        "predict",
+        help="predict metrics for a config from a fitted model",
+    )
+    p_predict.add_argument("--model", required=True,
+                           help="model artifact (from 'repro fit')")
+    p_predict.add_argument("--design", choices=design_names(),
+                           default="s38584")
+    p_predict.add_argument("--scale", type=float, default=1.0)
+    p_predict.add_argument(
+        "--set", type=_knob_pair, action="append", metavar="KEY=VALUE",
+        help="sweep knob (repeatable), e.g. --set eps=0.1 "
+             "--set library=lean",
+    )
+    p_predict.add_argument(
+        "--calibrate", metavar="PATH",
+        help="few-shot calibrate from this store/JSONL's records of "
+             "the same (design, scale) before predicting",
+    )
+    p_predict.add_argument(
+        "-k", type=_nonneg_int, default=8,
+        help="calibration points to use, at most 8 (default: 8)",
+    )
+    p_predict.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_predict.set_defaults(func=cmd_predict)
+
+    p_suggest = sub.add_parser(
+        "suggest",
+        help="model-guided next sweep round (successive halving)",
+    )
+    p_suggest.add_argument("specfile", help="sweep spec (JSON)")
+    p_suggest.add_argument("--model", required=True,
+                           help="model artifact (from 'repro fit')")
+    p_suggest.add_argument(
+        "--store", metavar="ROOT",
+        help="existing store root: measured points are excluded from "
+             "the suggestion",
+    )
+    p_suggest.add_argument(
+        "--design", choices=design_names(),
+        help="design to suggest for (default: the spec's first)",
+    )
+    p_suggest.add_argument(
+        "--scale", type=float,
+        help="scale to suggest for (default: the spec's first)",
+    )
+    p_suggest.add_argument(
+        "--rounds", type=_nonneg_int, default=3,
+        help="successive-halving rounds (default: 3)",
+    )
+    p_suggest.add_argument(
+        "--calibrate", type=_nonneg_int, default=0, metavar="K",
+        help="few-shot calibrate on K stored points of the chosen "
+             "design before ranking (needs --store; default: off)",
+    )
+    p_suggest.add_argument(
+        "--out", metavar="PATH",
+        help="write the next-round spec JSON here (canonical bytes)",
+    )
+    p_suggest.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    p_suggest.set_defaults(func=cmd_suggest)
+
+    p_store = sub.add_parser(
+        "store", help="sweep store maintenance (stats, gc)"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_stats = store_sub.add_parser(
+        "stats", help="records per design / schema version / last use"
+    )
+    p_stats.add_argument("root", help="store root directory")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    p_stats.set_defaults(func=cmd_store_stats)
+    p_gc = store_sub.add_parser(
+        "gc", help="collect stale-schema / corrupt / orphaned files"
+    )
+    p_gc.add_argument("root", help="store root directory")
+    p_gc.add_argument(
+        "--schema-version", type=int,
+        help="collect only records of this (non-current) schema "
+             "version (default: every non-current version)",
+    )
+    p_gc.add_argument(
+        "--apply", action="store_true",
+        help="actually delete (default: dry run, report only)",
+    )
+    p_gc.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    p_gc.set_defaults(func=cmd_store_gc)
 
     p_gallery = sub.add_parser("gallery",
                                help="render all topologies as SVGs")

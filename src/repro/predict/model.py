@@ -1,0 +1,305 @@
+"""A deterministic, numpy-only cross-design metric regressor.
+
+Per SwiftCTS (PAPERS.md), CTS quality metrics transfer across designs
+once the design is summarised well and a cheap per-design correction is
+allowed on top.  The cross-design half is this module: one
+**standardized ridge** regressor per target — features and targets are
+z-scored over the training set, the weights solve the closed form
+
+    W = (Xs^T Xs + n * lambda * I)^-1  Xs^T Ys
+
+and predictions de-standardize back to physical units.  Everything is
+plain numpy ``linalg.solve`` on a symmetric positive-definite system:
+no iterative optimiser, no RNG, no thread-order sensitivity — the same
+dataset produces the same weights to the last bit, which is what makes
+the *artifact* content-addressable.
+
+Artifact contract (docs/PREDICT.md): a model serialises to canonical
+JSON whose identity ``key`` is the sha256 of ``(model schema, store
+schema, feature-schema digest, training-record digest, lambda)``.  The
+file is named ``model-<key16>.json``, written atomically, and verified
+on load — a model trained on different records, a different feature
+encoding or a different store generation can never be confused for
+this one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.predict.features import (
+    TARGET_FIELDS,
+    Dataset,
+    feature_names,
+    feature_schema_digest,
+    feature_vector,
+)
+
+_LOG = get_logger("predict")
+
+#: Bumped whenever the artifact layout or the estimator semantics
+#: change; part of every artifact key.
+MODEL_SCHEMA_VERSION = 1
+
+#: Ridge strength (on the standardized system).  Small enough to let
+#: the model interpolate a dense training set, large enough to keep the
+#: solve well-posed when features outnumber records.
+DEFAULT_L2 = 1e-2
+
+#: Marker every artifact carries (first line of defence on load).
+_ARTIFACT_KIND = "repro-predict-model"
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+@dataclass(slots=True)
+class RidgeModel:
+    """A fitted per-target standardized ridge regressor."""
+
+    feature_names: tuple[str, ...]
+    target_names: tuple[str, ...]
+    mean_x: np.ndarray             # (d,)
+    scale_x: np.ndarray            # (d,) — zero-variance guarded to 1
+    mean_y: np.ndarray             # (t,)
+    scale_y: np.ndarray            # (t,)
+    weights: np.ndarray            # (d, t) on the standardized system
+    l2: float
+    store_schema: int
+    feature_digest: str
+    training_digest: str
+    training_rows: int
+    training_designs: tuple[str, ...]
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def key(self) -> str:
+        """Content address: what the model *is*, not what it weighs.
+
+        Two fits agree on the key exactly when they saw the same store
+        generation, the same feature encoding, the same training
+        records and the same regularisation — in which case the solve
+        is deterministic and the weights agree too.
+        """
+        payload = _canonical({
+            "artifact": _ARTIFACT_KIND,
+            "model_schema": MODEL_SCHEMA_VERSION,
+            "store_schema": self.store_schema,
+            "features": self.feature_digest,
+            "training": self.training_digest,
+            "l2": self.l2,
+        })
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def content_checksum(self) -> str:
+        """Integrity hash over the fitted numbers themselves.
+
+        The :meth:`key` names what the model *is* (its training
+        identity); this hashes what it *weighs*, so a hand-edited
+        artifact whose identity fields still agree is caught on load.
+        """
+        payload = _canonical({
+            "mean_x": self.mean_x.tolist(),
+            "scale_x": self.scale_x.tolist(),
+            "mean_y": self.mean_y.tolist(),
+            "scale_y": self.scale_y.tolist(),
+            "weights": self.weights.tolist(),
+        })
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_matrix(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for an (n, d) feature matrix → (n, t)."""
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        Xs = (X - self.mean_x) / self.scale_x
+        Ys = Xs @ self.weights
+        METRICS.inc("predict.predict.rows", X.shape[0])
+        return self.mean_y + Ys * self.scale_y
+
+    def predict_point(self, design: str, scale: float,
+                      canonical_config: dict) -> dict[str, float]:
+        """Predict one (design, scale, canonical config) point."""
+        row = feature_vector(design, scale, canonical_config)
+        values = self.predict_matrix(row[None, :])[0]
+        METRICS.inc("predict.predict")
+        return {t: float(v) for t, v in zip(self.target_names, values)}
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "artifact": _ARTIFACT_KIND,
+            "model_schema": MODEL_SCHEMA_VERSION,
+            "key": self.key(),
+            "checksum": self.content_checksum(),
+            "store_schema": self.store_schema,
+            "feature_schema": {
+                "digest": self.feature_digest,
+                "names": list(self.feature_names),
+            },
+            "training": {
+                "digest": self.training_digest,
+                "rows": self.training_rows,
+                "designs": list(self.training_designs),
+            },
+            "l2": self.l2,
+            "targets": list(self.target_names),
+            "standardize": {
+                "mean_x": self.mean_x.tolist(),
+                "scale_x": self.scale_x.tolist(),
+                "mean_y": self.mean_y.tolist(),
+                "scale_y": self.scale_y.tolist(),
+            },
+            "weights": self.weights.tolist(),
+        }
+
+    def save(self, out_dir: str | Path) -> Path:
+        """Write the content-addressed artifact; returns its path.
+
+        Canonical bytes, atomic write, name derived from :meth:`key` —
+        re-fitting the same store yields the same file, byte for byte.
+        """
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"model-{self.key()[:16]}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(_canonical(self.to_dict()) + "\n")
+        os.replace(tmp, path)
+        _LOG.info("model artifact written to %s", path)
+        return path
+
+
+def fit(dataset: Dataset, l2: float = DEFAULT_L2) -> RidgeModel:
+    """Fit the standardized ridge on an extracted dataset."""
+    if dataset.rows == 0:
+        raise ValueError("cannot fit a model on an empty dataset "
+                         "(no scoreable records)")
+    if l2 <= 0:
+        raise ValueError(f"l2 must be positive, got {l2}")
+    with TRACER.span("predict.fit", rows=dataset.rows, l2=l2):
+        X = dataset.features
+        Y = dataset.targets
+        mean_x = X.mean(axis=0)
+        scale_x = X.std(axis=0)
+        scale_x = np.where(scale_x > 0, scale_x, 1.0)
+        mean_y = Y.mean(axis=0)
+        scale_y = Y.std(axis=0)
+        scale_y = np.where(scale_y > 0, scale_y, 1.0)
+        Xs = (X - mean_x) / scale_x
+        Ys = (Y - mean_y) / scale_y
+        n, d = Xs.shape
+        gram = Xs.T @ Xs + n * l2 * np.eye(d)
+        weights = np.linalg.solve(gram, Xs.T @ Ys)
+        METRICS.inc("predict.fit")
+        return RidgeModel(
+            feature_names=tuple(dataset.feature_names),
+            target_names=tuple(dataset.target_names),
+            mean_x=mean_x,
+            scale_x=scale_x,
+            mean_y=mean_y,
+            scale_y=scale_y,
+            weights=weights,
+            l2=float(l2),
+            store_schema=dataset.store_schema,
+            feature_digest=dataset.feature_digest(),
+            training_digest=dataset.training_digest(),
+            training_rows=dataset.rows,
+            training_designs=tuple(sorted(set(dataset.designs))),
+        )
+
+
+def in_sample_mae(model: RidgeModel, dataset: Dataset) -> dict[str, float]:
+    """Per-target mean absolute training error (reporting only)."""
+    pred = model.predict_matrix(dataset.features)
+    errors = np.abs(pred - dataset.targets).mean(axis=0)
+    return {t: float(e) for t, e in zip(model.target_names, errors)}
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_model(path: str | Path) -> RidgeModel:
+    """Read and verify a model artifact; typed ValueError on any flaw.
+
+    Verification is structural *and* content-addressed: the artifact
+    must carry the expected kind/schema, its matrices must be shaped
+    consistently, and its stored ``key`` must equal the key recomputed
+    from its identity fields — a renamed or hand-edited artifact fails
+    here instead of answering with someone else's weights.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"{path}: cannot read model artifact ({exc})") \
+            from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) \
+            or data.get("artifact") != _ARTIFACT_KIND:
+        raise ValueError(f"{path}: not a repro predict model artifact")
+    if data.get("model_schema") != MODEL_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: model schema {data.get('model_schema')!r} "
+            f"unsupported (expected {MODEL_SCHEMA_VERSION})"
+        )
+    try:
+        std = data["standardize"]
+        model = RidgeModel(
+            feature_names=tuple(data["feature_schema"]["names"]),
+            target_names=tuple(data["targets"]),
+            mean_x=np.array(std["mean_x"], dtype=np.float64),
+            scale_x=np.array(std["scale_x"], dtype=np.float64),
+            mean_y=np.array(std["mean_y"], dtype=np.float64),
+            scale_y=np.array(std["scale_y"], dtype=np.float64),
+            weights=np.array(data["weights"], dtype=np.float64),
+            l2=float(data["l2"]),
+            store_schema=int(data["store_schema"]),
+            feature_digest=str(data["feature_schema"]["digest"]),
+            training_digest=str(data["training"]["digest"]),
+            training_rows=int(data["training"]["rows"]),
+            training_designs=tuple(data["training"]["designs"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: malformed model artifact "
+                         f"({exc.__class__.__name__}: {exc})") from exc
+    d, t = len(model.feature_names), len(model.target_names)
+    if model.weights.shape != (d, t) or model.mean_x.shape != (d,) \
+            or model.mean_y.shape != (t,):
+        raise ValueError(f"{path}: artifact matrices are inconsistently "
+                         f"shaped")
+    if data.get("key") != model.key():
+        raise ValueError(
+            f"{path}: artifact key does not match its content "
+            f"(stored {str(data.get('key'))[:12]}..., recomputed "
+            f"{model.key()[:12]}...)"
+        )
+    if data.get("checksum") != model.content_checksum():
+        raise ValueError(
+            f"{path}: artifact checksum does not match its weights — "
+            f"the file was edited after it was written"
+        )
+    if model.feature_digest != feature_schema_digest() \
+            or model.feature_names != feature_names() \
+            or model.target_names != tuple(TARGET_FIELDS):
+        raise ValueError(
+            f"{path}: model was trained on feature schema "
+            f"{model.feature_digest[:12]}..., this code builds "
+            f"{feature_schema_digest()[:12]}... — refit the model"
+        )
+    return model

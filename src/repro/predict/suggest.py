@@ -1,0 +1,274 @@
+"""Model-guided sweep suggestion: successive halving over a spec grid.
+
+A human writing the next sweep round guesses which corner of the knob
+grid is worth the compute.  With a fitted cross-design model the guess
+becomes a ranking problem: expand the candidate grid *on paper*,
+predict every point's objectives in microseconds, and keep only the
+configurations the model expects to matter for the Pareto front.
+
+The policy is successive halving over the existing
+:class:`~repro.sweep.spec.SweepSpec` grid format:
+
+1. expand the spec's grid for one ``(design, scale)`` and drop every
+   point the store has already measured (a re-run would be a cache hit,
+   so suggesting it wastes the round);
+2. each round, rank the surviving candidates by **predicted Pareto
+   contribution** — domination count under the predicted objective
+   vectors (fewer dominators = closer to the predicted front), ties
+   broken by crowding distance (prefer spread along the front), then by
+   expansion index (determinism) — and keep the better half;
+3. after ``rounds`` halvings, emit the survivors as a *valid* explicit-
+   points spec via the same :func:`~repro.sweep.spec.spec_from_dict`
+   machinery sweeps consume — ``repro sweep`` can run the suggestion
+   verbatim.
+
+Everything downstream of the model is sorting and set arithmetic, so a
+given (model, spec, store) triple always yields the same suggestion —
+the CI ``predict-smoke`` job pins two runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.designs import design_fingerprint
+from repro.obs.logcfg import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.predict.calibrate import Calibration
+from repro.predict.model import RidgeModel
+from repro.sweep.spec import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_FIELDS,
+    SweepPoint,
+    SweepSpec,
+    spec_from_dict,
+)
+from repro.sweep.store import record_key
+
+_LOG = get_logger("predict")
+
+#: Halving rounds by default (8x reduction of the candidate grid).
+DEFAULT_ROUNDS = 3
+
+#: Never suggest fewer points than this — a one-point "round" cannot
+#: trade objectives off against each other.
+MIN_KEEP = 2
+
+
+@dataclass(slots=True)
+class Candidate:
+    """One un-measured grid point with its predicted objectives."""
+
+    point: SweepPoint
+    key: str                       # content-addressed store key
+    predicted: dict[str, float]    # every model target
+
+
+@dataclass(slots=True)
+class SuggestReport:
+    """What the policy looked at and what it kept."""
+
+    spec_name: str
+    design: str
+    scale: float
+    objectives: tuple[str, ...]
+    candidates: int                # un-measured grid points considered
+    measured: int                  # grid points skipped as already stored
+    rounds: list[dict] = field(default_factory=list)
+    survivors: list[Candidate] = field(default_factory=list)
+    next_spec: SweepSpec | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "design": self.design,
+            "scale": self.scale,
+            "objectives": list(self.objectives),
+            "candidates": self.candidates,
+            "measured": self.measured,
+            "rounds": list(self.rounds),
+            "survivors": [
+                {
+                    "index": c.point.index,
+                    "key": c.key,
+                    "knobs": c.point.knobs(),
+                    "predicted": c.predicted,
+                }
+                for c in self.survivors
+            ],
+            "next_spec": self.next_spec.to_dict()
+            if self.next_spec is not None else None,
+        }
+
+
+def _domination_counts(values: np.ndarray) -> np.ndarray:
+    """values[i] dominated-by count under minimisation (all pairs)."""
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        no_worse = np.all(values <= values[i], axis=1)
+        strictly = np.any(values < values[i], axis=1)
+        counts[i] = int(np.count_nonzero(no_worse & strictly))
+    return counts
+
+
+def _crowding(values: np.ndarray) -> np.ndarray:
+    """NSGA-II-style crowding distance (bigger = lonelier = better)."""
+    n, m = values.shape
+    crowd = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(values[:, j], kind="stable")
+        span = values[order[-1], j] - values[order[0], j]
+        crowd[order[0]] = crowd[order[-1]] = math.inf
+        if span <= 0 or n < 3:
+            continue
+        gaps = (values[order[2:], j] - values[order[:-2], j]) / span
+        crowd[order[1:-1]] += gaps
+    return crowd
+
+
+def _rank(candidates: list[Candidate],
+          objectives: tuple[str, ...]) -> list[Candidate]:
+    """Candidates best-first by predicted Pareto contribution."""
+    values = np.array([
+        [c.predicted[o] for o in objectives] for c in candidates
+    ])
+    dom = _domination_counts(values)
+    crowd = _crowding(values)
+    order = sorted(
+        range(len(candidates)),
+        key=lambda i: (dom[i], -crowd[i], candidates[i].point.index),
+    )
+    return [candidates[i] for i in order]
+
+
+def suggest_next_round(
+    model: RidgeModel,
+    spec: SweepSpec,
+    stored_keys: frozenset[str] = frozenset(),
+    design: str | None = None,
+    scale: float | None = None,
+    rounds: int = DEFAULT_ROUNDS,
+    calibration: Calibration | None = None,
+) -> SuggestReport:
+    """Run the policy; see the module docstring.
+
+    ``stored_keys`` is the store's current key set — measured points
+    never re-enter the suggestion.  ``design``/``scale`` select which
+    of the spec's design points to suggest for (default: the first of
+    each — the policy tunes one design at a time, SwiftCTS-style).
+    ``calibration``, when given, corrects every prediction before
+    ranking.
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    design = design if design is not None else spec.designs[0]
+    scale = float(scale) if scale is not None else float(spec.scales[0])
+    if design not in spec.designs:
+        raise ValueError(
+            f"design {design!r} is not in the spec "
+            f"(has {spec.designs})"
+        )
+    if not any(abs(s - scale) < 1e-12 for s in spec.scales):
+        raise ValueError(
+            f"scale {scale!r} is not in the spec (has {spec.scales})"
+        )
+    objectives = tuple(spec.objectives) or DEFAULT_OBJECTIVES
+    for o in objectives:
+        if o not in OBJECTIVE_FIELDS or o not in model.target_names:
+            raise ValueError(
+                f"objective {o!r} is not a model target; "
+                f"model predicts {list(model.target_names)}"
+            )
+
+    with TRACER.span("predict.suggest", spec=spec.name, design=design,
+                     scale=scale, rounds=rounds):
+        fingerprint = design_fingerprint(design, scale)
+        candidates: list[Candidate] = []
+        measured = 0
+        for point in spec.expand():
+            if point.design != design \
+                    or abs(point.scale - scale) >= 1e-12:
+                continue
+            key = record_key(fingerprint, point.canonical_config())
+            if key in stored_keys:
+                measured += 1
+                continue
+            predicted = model.predict_point(
+                design, scale, point.canonical_config())
+            if calibration is not None:
+                predicted = calibration.apply(predicted)
+            candidates.append(Candidate(point, key, predicted))
+        METRICS.inc("predict.suggest.candidates", len(candidates))
+        METRICS.inc("predict.suggest.measured", measured)
+
+        report = SuggestReport(
+            spec_name=spec.name, design=design, scale=scale,
+            objectives=objectives, candidates=len(candidates),
+            measured=measured,
+        )
+        if not candidates:
+            _LOG.info("suggest %r: every grid point already measured",
+                      spec.name)
+            return report
+
+        survivors = candidates
+        for r in range(rounds):
+            if len(survivors) <= MIN_KEEP:
+                break
+            keep = max(MIN_KEEP, math.ceil(len(survivors) / 2))
+            ranked = _rank(survivors, objectives)
+            report.rounds.append({
+                "round": r + 1,
+                "candidates": len(survivors),
+                "kept": keep,
+            })
+            survivors = ranked[:keep]
+            METRICS.inc("predict.suggest.rounds")
+        # spec order is expansion order: survivors re-sort by index so
+        # the emitted points file reads like a (sub-)grid, not a ranking
+        survivors = sorted(survivors, key=lambda c: c.point.index)
+        METRICS.inc("predict.suggest.kept", len(survivors))
+
+        report.survivors = survivors
+        report.next_spec = _emit_spec(spec, design, scale, survivors,
+                                      objectives)
+        _LOG.info("suggest %r: %d candidates (%d measured skipped) "
+                  "-> %d survivors after %d round(s)", spec.name,
+                  len(candidates), measured, len(survivors),
+                  len(report.rounds))
+        return report
+
+
+def _emit_spec(spec: SweepSpec, design: str, scale: float,
+               survivors: list[Candidate],
+               objectives: tuple[str, ...]) -> SweepSpec:
+    """The survivors as a valid spec that expands to exactly them.
+
+    Round-tripped through :func:`spec_from_dict` so the emitted JSON is
+    exactly what ``repro sweep`` validates — an invalid suggestion is a
+    bug that fails here, not in the next sweep run.
+
+    A points-only spec with an empty grid expands to the all-defaults
+    combo *plus* the points (pinned engine behaviour), which would bolt
+    an unranked freeloader onto the suggestion.  So the first survivor
+    is encoded as single-value grid axes — a one-combo grid product —
+    and the rest as explicit points; expansion is then [first, *rest],
+    the survivors and nothing else.  (When the first survivor *is* the
+    all-defaults point its grid encoding is empty, and the engine's
+    default combo reproduces it at index 0 — same result either way.)
+    """
+    first, rest = survivors[0], survivors[1:]
+    payload = {
+        "name": f"{spec.name}-next",
+        "designs": [design],
+        "scales": [scale],
+        "grid": {k: [v] for k, v in sorted(first.point.knobs().items())},
+        "points": [c.point.knobs() for c in rest],
+        "objectives": list(objectives),
+    }
+    return spec_from_dict(payload)

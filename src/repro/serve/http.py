@@ -14,6 +14,7 @@ carrying the semantics:
 ``405``                      wrong method on a known route
 ``413``                      body beyond ``MAX_BODY`` bytes
 ``429 AdmissionRejected``    queue full — back off and retry
+``503 ModelUnavailable``     ``/v1/predict`` without ``--model``
 ``504 DeadlineExceeded``     per-request budget expired
 ===========================  ======================================
 
@@ -30,7 +31,16 @@ Routes:
     schema`) answered from cache, a coalesced flight, or a fresh
     execution.  With ``"stream": true`` the response is chunked
     NDJSON — progress events as they happen, then a final ``result``
-    (or ``error``) line.
+    (or ``error``) line.  When a model is loaded the response carries
+    a ``predicted`` hint (streaming: a ``predicted`` event right after
+    ``accepted``) — the model's estimate, available before the flow
+    finishes.
+``POST /v1/predict``
+    The same request payload answered *from the model alone*: no
+    queue slot, no flight, no flow execution — microseconds, plus a
+    ``cached`` flag saying whether the exact record already exists.
+    503 ``ModelUnavailable`` when the server was started without
+    ``--model``.
 """
 
 from __future__ import annotations
@@ -57,7 +67,7 @@ _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    504: "Gateway Timeout",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
@@ -200,6 +210,9 @@ class CTSServer:
         elif path == "/v1/cts":
             self._require_method(method, "POST")
             await self._serve_cts(body, writer)
+        elif path == "/v1/predict":
+            self._require_method(method, "POST")
+            await self._serve_predict(body, writer)
         else:
             raise _HttpError(404, f"no route {path!r}")
 
@@ -219,17 +232,38 @@ class CTSServer:
         if request.stream:
             await self._serve_streaming(request, writer)
             return
+        hint = None
+        if self.service.predictor is not None:
+            hint = await asyncio.to_thread(
+                self.service.predict_hint, request)
         try:
             result = await self.service.submit(request)
         except AdmissionRejected as exc:
             raise _HttpError(429, str(exc), "AdmissionRejected") from exc
         except DeadlineExceeded as exc:
             raise _HttpError(504, str(exc), "DeadlineExceeded") from exc
-        await self._send_json(writer, 200, {
+        payload = {
             "source": result.source,
             "key": request.key,
             "record": result.record,
-        })
+        }
+        if hint is not None:
+            payload["predicted"] = hint
+        await self._send_json(writer, 200, payload)
+
+    async def _serve_predict(self, body: bytes, writer) -> None:
+        """``/v1/predict``: the model's answer, never the fabric's."""
+        try:
+            request = parse_request_bytes(body)
+        except RequestError as exc:
+            raise _HttpError(400, str(exc), "RequestError") from exc
+        if self.service.predictor is None:
+            raise _HttpError(
+                503, "no model loaded; start the server with --model "
+                     "<artifact from 'repro fit'>", "ModelUnavailable")
+        payload = await asyncio.to_thread(
+            self.service.predict_answer, request)
+        await self._send_json(writer, 200, payload)
 
     async def _serve_streaming(self, request, writer) -> None:
         """Chunked NDJSON: progress events, then one result/error line."""
@@ -246,6 +280,12 @@ class CTSServer:
                          + data + b"\r\n")
 
         write_chunk({"event": "accepted", "key": request.key})
+        if self.service.predictor is not None:
+            hint = await asyncio.to_thread(
+                self.service.predict_hint, request)
+            if hint is not None:
+                write_chunk({"event": "predicted", "key": request.key,
+                             "predicted": hint})
         try:
             result = await self.service.submit(request,
                                                on_event=write_chunk)

@@ -155,8 +155,12 @@ class CTSService:
         default_deadline_s: float = 0.0,
         policy: FabricPolicy | None = None,
         chaos: FabricChaos | None = None,
+        predictor=None,
     ):
         self.store = store
+        #: Optional fitted :class:`repro.predict.RidgeModel`; enables
+        #: ``/v1/predict`` and the ``predicted`` hint on ``/v1/cts``.
+        self.predictor = predictor
         self.jobs = resolve_jobs(jobs)
         self.queue = AdmissionQueue(queue_depth)
         self.default_deadline_s = default_deadline_s
@@ -182,6 +186,9 @@ class CTSService:
         self._loop = asyncio.get_running_loop()
         for name in SERVE_COUNTERS:
             METRICS.inc(name, 0)    # present-at-zero for /metrics
+        if self.predictor is not None:
+            for name in ("predict.request", "predict.hint"):
+                METRICS.inc(name, 0)
         for i in range(self.jobs):
             pool = None
             if self.jobs > 1:
@@ -277,6 +284,42 @@ class CTSService:
 
     def _deadline_of(self, request: ServeRequest) -> float:
         return request.deadline_s or self.default_deadline_s
+
+    # ------------------------------------------------------------------
+    # Prediction (model only — never touches the queue or the fabric)
+    # ------------------------------------------------------------------
+    def predict_hint(self, request: ServeRequest) -> dict | None:
+        """The model's estimate for a request's metrics, or None.
+
+        Pure read: one matrix multiply against the loaded model, with
+        the request's design features memoised after the first call —
+        no queue slot, no flight, no flow execution.  Called from a
+        worker thread (``asyncio.to_thread``): the first hint for a
+        design generates its placement to summarise it, which is
+        milliseconds-to-tenths work that must not stall the loop.
+        """
+        if self.predictor is None:
+            return None
+        point = request.point
+        predicted = self.predictor.predict_point(
+            point.design, point.scale, point.canonical_config())
+        METRICS.inc("predict.hint")
+        return predicted
+
+    def predict_answer(self, request: ServeRequest) -> dict:
+        """The full ``/v1/predict`` payload (requires a predictor)."""
+        point = request.point
+        predicted = self.predictor.predict_point(
+            point.design, point.scale, point.canonical_config())
+        METRICS.inc("predict.request")
+        return {
+            "key": request.key,
+            "design": point.design,
+            "scale": point.scale,
+            "cached": self.store.get(request.key) is not None,
+            "model": self.predictor.key(),
+            "predicted": predicted,
+        }
 
     async def _await_flight(self, flight: _Flight,
                             request: ServeRequest) -> dict:

@@ -10,8 +10,14 @@ other record dominates.
 Every entry carries **dominance provenance**: a dominated point names
 the record that eliminated it (``dominated_by`` — the first dominator
 in record order, so provenance is deterministic), and a front point
-lists every record it dominates (``dominates``).  ``n^2`` pairwise
-comparison — sweeps are hundreds of points, not millions.
+lists every record it dominates (``dominates``).
+
+Front *membership* uses a sort-based skyline sweep in the common
+2-objective case — ``O(n log n)`` instead of the ``n^2`` pairwise scan,
+which stays as the general path for three objectives and up.  Both
+paths answer the same set question, so results are byte-identical
+(pinned by the regression suite); provenance is still the quadratic
+front-vs-dominated pass, which is ``O(front * dominated)`` in practice.
 """
 
 from __future__ import annotations
@@ -74,6 +80,55 @@ def _dominates(a: dict, b: dict, objectives: tuple[str, ...]) -> bool:
     return no_worse and strictly
 
 
+def _front_general(entries: list[ParetoEntry],
+                   objectives: tuple[str, ...]) -> list[ParetoEntry]:
+    """O(n^2) membership scan — any number of objectives."""
+    return [
+        b for b in entries
+        if not any(
+            a is not b and _dominates(a.objectives, b.objectives, objectives)
+            for a in entries
+        )
+    ]
+
+
+def _front_skyline_2d(entries: list[ParetoEntry],
+                      objectives: tuple[str, ...]) -> list[ParetoEntry]:
+    """O(n log n) skyline membership for exactly two objectives.
+
+    Sort lexicographically by ``(o1, o2)`` and walk groups of *distinct*
+    value pairs in order.  Every strictly earlier distinct group has
+    either a smaller ``o1``, or an equal ``o1`` with a smaller ``o2`` —
+    so it dominates the current group exactly when its ``o2`` is no
+    larger.  Tracking the minimum ``o2`` seen across earlier groups
+    answers membership for the whole group at once; members of one
+    group have equal coordinates and never dominate each other, so they
+    share a verdict.  Returns the front in ``entries`` order (the
+    provenance pass and serialised output depend on it).
+    """
+    o1, o2 = objectives
+    order = sorted(
+        range(len(entries)),
+        key=lambda i: (entries[i].objectives[o1], entries[i].objectives[o2]),
+    )
+    on_front = [False] * len(entries)
+    best_o2 = math.inf
+    i = 0
+    while i < len(order):
+        group = entries[order[i]].objectives
+        j = i
+        while j < len(order) and \
+                entries[order[j]].objectives[o1] == group[o1] and \
+                entries[order[j]].objectives[o2] == group[o2]:
+            j += 1
+        if group[o2] < best_o2:
+            for k in range(i, j):
+                on_front[order[k]] = True
+            best_o2 = group[o2]
+        i = j
+    return [e for idx, e in enumerate(entries) if on_front[idx]]
+
+
 def pareto_front(
     records: list[dict],
     objectives: tuple[str, ...] = DEFAULT_OBJECTIVES,
@@ -113,14 +168,12 @@ def pareto_front(
             objectives=values,
         ))
 
-    # pass 1: front membership (nothing dominates a front point)
-    front = [
-        b for b in entries
-        if not any(
-            a is not b and _dominates(a.objectives, b.objectives, objectives)
-            for a in entries
-        )
-    ]
+    # pass 1: front membership (nothing dominates a front point) — the
+    # skyline sweep for the 2-objective common case, pairwise otherwise
+    if len(objectives) == 2:
+        front = _front_skyline_2d(entries, objectives)
+    else:
+        front = _front_general(entries, objectives)
     # pass 2: provenance — each dominated point names its first *front*
     # dominator in record order (one exists: dominance is transitive),
     # so provenance never chains through an eliminated point

@@ -207,6 +207,135 @@ class SweepStore:
         return out
 
     # ------------------------------------------------------------------
+    # Maintenance: stats and garbage collection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate view of the store for ``repro store stats``.
+
+        Counts records per ``design@scale`` and per schema version,
+        with each design's last-use time (the newest record file's
+        mtime — records themselves carry no wall-clock on purpose, so
+        the filesystem is the only witness of *when*).  Corrupt record
+        files are counted, not raised: stats is a diagnostic surface.
+        """
+        per_design: dict[str, dict] = {}
+        per_schema: dict[str, int] = {}
+        per_status: dict[str, int] = {}
+        corrupt = 0
+        records = 0
+        total_bytes = 0
+        for path in sorted(self._records.glob("*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue           # raced a concurrent gc
+            total_bytes += st.st_size
+            record = self.get(path.stem)
+            if record is None:
+                corrupt += 1
+                continue
+            records += 1
+            schema = str(record.get("schema", "?"))
+            per_schema[schema] = per_schema.get(schema, 0) + 1
+            status = str(record.get("status", "?"))
+            per_status[status] = per_status.get(status, 0) + 1
+            design = f"{record.get('design', '?')}" \
+                     f"@{record.get('scale', '?')}"
+            entry = per_design.setdefault(
+                design, {"records": 0, "last_used": 0.0})
+            entry["records"] += 1
+            entry["last_used"] = max(entry["last_used"], st.st_mtime)
+        for entry in per_design.values():
+            entry["last_used"] = time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ",
+                time.gmtime(entry["last_used"]))
+        sweeps = sorted(self._sweeps.glob("*.jsonl"))
+        return {
+            "root": str(self.root),
+            "store_schema": RESULT_SCHEMA_VERSION,
+            "records": records,
+            "corrupt": corrupt,
+            "bytes": total_bytes,
+            "designs": dict(sorted(per_design.items())),
+            "schemas": dict(sorted(per_schema.items())),
+            "statuses": dict(sorted(per_status.items())),
+            "sweeps": [p.name for p in sweeps],
+        }
+
+    def gc(self, schema_version: int | None = None,
+           dry_run: bool = True) -> dict:
+        """Collect dead weight; dry-run (report only) by default.
+
+        Three classes of garbage, each harmless to delete:
+
+        - records whose schema is not the current
+          :data:`RESULT_SCHEMA_VERSION` — their keys embed the old
+          schema, so they can never be cache hits again
+          (``schema_version`` narrows collection to exactly that
+          version; collecting the *current* version is refused — that
+          would be deleting a valid cache, which is ``rm -r``'s job,
+          not gc's);
+        - corrupt record files (unparseable, or content not matching
+          the filename key) — already treated as misses by :meth:`get`;
+        - orphaned ``*.tmp.<pid>`` files, under the same ownership and
+          grace rules the store applies at open
+          (:meth:`_tmp_is_stale`).
+        """
+        if schema_version == RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"refusing to gc schema version {schema_version}: that "
+                f"is the current store schema (its records are the "
+                f"live cache)"
+            )
+        stale: list[str] = []
+        corrupt: list[str] = []
+        for path in sorted(self._records.glob("*.json")):
+            key = path.stem
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                corrupt.append(path.name)
+                continue
+            if not isinstance(record, dict) or record.get("key") != key:
+                corrupt.append(path.name)
+                continue
+            schema = record.get("schema")
+            if schema_version is not None:
+                if schema == schema_version:
+                    stale.append(key)
+            elif schema != RESULT_SCHEMA_VERSION:
+                stale.append(key)
+        orphans = [
+            path
+            for directory in (self._records, self._sweeps)
+            for path in sorted(directory.glob("*.tmp.*"))
+            if self._tmp_is_stale(path)
+        ]
+        removed = 0
+        if not dry_run:
+            doomed = [self.record_path(k) for k in stale]
+            doomed += [self._records / name for name in corrupt]
+            doomed += orphans
+            for path in doomed:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue   # raced another collector: already gone
+                removed += 1
+            _LOG.info("store gc removed %d file(s) under %s",
+                      removed, self.root)
+        return {
+            "root": str(self.root),
+            "dry_run": dry_run,
+            "schema_version": schema_version,
+            "stale_schema": stale,
+            "corrupt": corrupt,
+            "orphans": [p.name for p in orphans],
+            "candidates": len(stale) + len(corrupt) + len(orphans),
+            "removed": removed,
+        }
+
+    # ------------------------------------------------------------------
     # Sweep run files (ordered JSONL)
     # ------------------------------------------------------------------
     def sweep_path(self, name: str, digest: str) -> Path:

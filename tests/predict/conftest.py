@@ -1,0 +1,37 @@
+"""Shared fixtures for the predict suite.
+
+The committed sweep-smoke records (``benchmarks/
+sweep_smoke_expected.jsonl``) are the training corpus: 8 real flow
+records of s38584@0.05 over an eps × seed × library grid, pinned
+byte-for-byte by the sweep-smoke CI job — so every test here trains on
+exactly the bytes CI trains on.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.sweep.store import load_records
+
+SMOKE_RECORDS = Path(__file__).resolve().parents[2] \
+    / "benchmarks" / "sweep_smoke_expected.jsonl"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+@pytest.fixture(scope="session")
+def smoke_records() -> list[dict]:
+    return load_records(SMOKE_RECORDS)
+
+
+@pytest.fixture(scope="session")
+def smoke_model(smoke_records):
+    from repro.predict import extract_dataset, fit
+
+    return fit(extract_dataset(smoke_records))

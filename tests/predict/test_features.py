@@ -1,0 +1,110 @@
+"""Feature extraction: schema stability, determinism, skip rules."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.predict import features as features_mod
+from repro.predict import (
+    TARGET_FIELDS,
+    extract_dataset,
+    feature_names,
+    feature_schema_digest,
+    feature_vector,
+)
+
+
+def _second_design(records, n=3):
+    """Clone a few records under another (design, scale) so extraction
+    has more than one cold design to warm (exercises the pool merge)."""
+    out = []
+    for i, record in enumerate(records[:n]):
+        clone = copy.deepcopy(record)
+        clone["design"] = "s38417"
+        clone["scale"] = 0.02
+        clone["key"] = f"{i:064x}"
+        out.append(clone)
+    return out
+
+
+def test_schema_digest_is_stable_and_covers_the_vocabulary():
+    digest = feature_schema_digest()
+    assert digest == feature_schema_digest()    # pure
+    assert len(digest) == 64
+    names = feature_names()
+    assert len(names) == len(set(names))
+    # the three feature families are all present
+    assert any(n.startswith("design.") for n in names)
+    assert any(n.startswith("lib.") for n in names)
+    assert any(n.startswith("config.") for n in names)
+
+
+def test_feature_vector_shape_and_determinism(smoke_records):
+    config = smoke_records[0]["config"]
+    row = feature_vector("s38584", 0.05, config)
+    assert row.shape == (len(feature_names()),)
+    assert np.all(np.isfinite(row))
+    assert np.array_equal(row, feature_vector("s38584", 0.05, config))
+
+
+def test_feature_vector_rejects_unknown_library(smoke_records):
+    config = dict(smoke_records[0]["config"], library="exotic")
+    with pytest.raises(ValueError, match="unknown buffer library"):
+        feature_vector("s38584", 0.05, config)
+
+
+def test_extraction_orders_rows_by_key(smoke_records):
+    dataset = extract_dataset(smoke_records)
+    assert dataset.rows == len(smoke_records)
+    assert dataset.skipped == 0
+    assert list(dataset.record_keys) == sorted(dataset.record_keys)
+    assert dataset.feature_names == feature_names()
+    assert dataset.target_names == TARGET_FIELDS
+
+
+def test_extraction_is_input_order_invariant(smoke_records):
+    forward = extract_dataset(list(smoke_records))
+    backward = extract_dataset(list(reversed(smoke_records)))
+    assert forward.record_keys == backward.record_keys
+    assert np.array_equal(forward.features, backward.features)
+    assert np.array_equal(forward.targets, backward.targets)
+    assert forward.training_digest() == backward.training_digest()
+
+
+def test_serial_and_parallel_extraction_identical(smoke_records):
+    records = list(smoke_records) + _second_design(smoke_records)
+    features_mod._DESIGN_CACHE.clear()
+    serial = extract_dataset(records, jobs=1)
+    features_mod._DESIGN_CACHE.clear()
+    parallel = extract_dataset(records, jobs=2)
+    assert serial.record_keys == parallel.record_keys
+    assert np.array_equal(serial.features, parallel.features)
+    assert np.array_equal(serial.targets, parallel.targets)
+    assert serial.training_digest() == parallel.training_digest()
+
+
+def test_unscoreable_records_are_skipped(smoke_records):
+    failed = copy.deepcopy(smoke_records[0])
+    failed["status"] = "error"
+    failed["key"] = "a" * 64
+    nan = copy.deepcopy(smoke_records[1])
+    nan["quality"] = dict(nan["quality"], skew_ps=float("nan"))
+    nan["key"] = "b" * 64
+    stale = copy.deepcopy(smoke_records[2])
+    stale["schema"] = 1
+    stale["key"] = "c" * 64
+    duplicate = copy.deepcopy(smoke_records[3])   # same key as original
+    records = list(smoke_records) + [failed, nan, stale, duplicate]
+    dataset = extract_dataset(records)
+    assert dataset.rows == len(smoke_records)
+    assert dataset.skipped == 4
+
+
+def test_training_digest_tracks_content(smoke_records):
+    base = extract_dataset(smoke_records)
+    tweaked_records = copy.deepcopy(smoke_records)
+    tweaked_records[0]["quality"]["skew_ps"] += 1.0
+    tweaked = extract_dataset(tweaked_records)
+    assert base.training_digest() != tweaked.training_digest()
+    assert base.feature_digest() == tweaked.feature_digest()

@@ -1,0 +1,98 @@
+"""Model fitting: byte-identical artifacts, verified loading."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.predict import (
+    extract_dataset,
+    fit,
+    in_sample_mae,
+    load_model,
+)
+from repro.predict.features import _DESIGN_CACHE
+
+
+def test_fit_twice_same_store_byte_identical_artifact(
+        smoke_records, tmp_path):
+    """The acceptance contract: same store -> same bytes, same name."""
+    first = fit(extract_dataset(smoke_records)).save(tmp_path / "a")
+    _DESIGN_CACHE.clear()      # cold caches must not change the bytes
+    second = fit(extract_dataset(smoke_records, jobs=2)) \
+        .save(tmp_path / "b")
+    assert first.name == second.name
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_artifact_round_trips_through_load(smoke_model, tmp_path):
+    path = smoke_model.save(tmp_path)
+    loaded = load_model(path)
+    assert loaded.key() == smoke_model.key()
+    assert np.array_equal(loaded.weights, smoke_model.weights)
+    assert loaded.training_rows == smoke_model.training_rows
+
+
+def test_model_interpolates_its_training_set(smoke_records, smoke_model):
+    """In-sample error must be small relative to the target scale —
+    8 points over a 42-dim standardized ridge should near-interpolate."""
+    dataset = extract_dataset(smoke_records)
+    mae = in_sample_mae(smoke_model, dataset)
+    scale = np.abs(dataset.targets).mean(axis=0)
+    for i, target in enumerate(smoke_model.target_names):
+        assert mae[target] <= max(0.05 * scale[i], 0.5), target
+
+
+def test_predict_point_answers_without_running_any_flow(smoke_model):
+    predicted = smoke_model.predict_point(
+        "s38584", 0.05,
+        {"flow": {"eps": 0.3}, "skew_bound": 70.0, "library": "default"})
+    assert set(predicted) == set(smoke_model.target_names)
+    assert all(np.isfinite(v) for v in predicted.values())
+
+
+def test_fit_rejects_empty_and_bad_l2(smoke_records):
+    with pytest.raises(ValueError, match="empty dataset"):
+        fit(extract_dataset([]))
+    with pytest.raises(ValueError, match="l2 must be positive"):
+        fit(extract_dataset(smoke_records), l2=0.0)
+
+
+def test_load_rejects_tampered_weights(smoke_model, tmp_path):
+    path = smoke_model.save(tmp_path)
+    data = json.loads(path.read_text())
+    data["weights"][0][0] += 1.0      # identity intact, content edited
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="checksum does not match"):
+        load_model(path)
+
+
+def test_load_rejects_tampered_identity(smoke_model, tmp_path):
+    path = smoke_model.save(tmp_path)
+    data = json.loads(path.read_text())
+    data["l2"] = 0.5                  # key no longer matches identity
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="key does not match"):
+        load_model(path)
+
+
+def test_load_rejects_wrong_kind_and_schema(smoke_model, tmp_path):
+    not_model = tmp_path / "nope.json"
+    not_model.write_text('{"artifact": "something-else"}')
+    with pytest.raises(ValueError, match="not a repro predict model"):
+        load_model(not_model)
+
+    path = smoke_model.save(tmp_path)
+    data = json.loads(path.read_text())
+    data["model_schema"] = 99
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="model schema"):
+        load_model(path)
+
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{truncated")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_model(garbage)
+
+    with pytest.raises(ValueError, match="cannot read"):
+        load_model(tmp_path / "missing.json")

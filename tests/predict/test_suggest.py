@@ -1,0 +1,108 @@
+"""Suggestion policy: determinism, exclusion, valid emitted specs."""
+
+import json
+
+import pytest
+
+from repro.designs import design_fingerprint
+from repro.predict import suggest_next_round
+from repro.sweep import SweepSpec
+from repro.sweep.spec import spec_from_dict
+from repro.sweep.store import record_key
+
+
+def _spec(**overrides) -> SweepSpec:
+    base = {
+        "name": "suggest-unit",
+        "designs": ["s38584"],
+        "scales": [0.05],
+        "grid": {
+            "eps": [0.02, 0.1, 0.4, 1.0],
+            "seed": [0, 1],
+            "library": ["default", "lean"],
+        },
+    }
+    base.update(overrides)
+    return spec_from_dict(base)
+
+
+def test_suggestion_is_deterministic(smoke_model):
+    a = suggest_next_round(smoke_model, _spec())
+    b = suggest_next_round(smoke_model, _spec())
+    assert json.dumps(a.to_dict(), sort_keys=True) == \
+        json.dumps(b.to_dict(), sort_keys=True)
+
+
+def test_halving_keeps_the_better_half_each_round(smoke_model):
+    report = suggest_next_round(smoke_model, _spec(), rounds=3)
+    assert report.candidates == 16
+    assert [r["candidates"] for r in report.rounds] == [16, 8, 4]
+    assert len(report.survivors) == 2
+    # survivors are emitted in expansion order, not rank order
+    indices = [c.point.index for c in report.survivors]
+    assert indices == sorted(indices)
+
+
+def test_measured_points_are_never_suggested(smoke_model):
+    spec = _spec()
+    fingerprint = design_fingerprint("s38584", 0.05)
+    measured = frozenset(
+        record_key(fingerprint, p.canonical_config())
+        for p in spec.expand()[:6]
+    )
+    report = suggest_next_round(smoke_model, spec, measured)
+    assert report.measured == 6
+    assert report.candidates == 10
+    surviving_keys = {c.key for c in report.survivors}
+    assert not surviving_keys & measured
+
+
+def test_everything_measured_yields_no_spec(smoke_model):
+    spec = _spec()
+    fingerprint = design_fingerprint("s38584", 0.05)
+    measured = frozenset(
+        record_key(fingerprint, p.canonical_config())
+        for p in spec.expand()
+    )
+    report = suggest_next_round(smoke_model, spec, measured)
+    assert report.candidates == 0
+    assert report.next_spec is None
+    assert report.survivors == []
+
+
+def test_emitted_spec_is_valid_and_expands_to_the_survivors(
+        smoke_model):
+    report = suggest_next_round(smoke_model, _spec())
+    payload = report.next_spec.to_dict()
+    reparsed = spec_from_dict(json.loads(json.dumps(payload)))
+    expanded = reparsed.expand()
+    assert len(expanded) == len(report.survivors)
+    # re-expansion resolves to the same cache keys the policy ranked
+    fingerprint = design_fingerprint("s38584", 0.05)
+    assert [record_key(fingerprint, p.canonical_config())
+            for p in expanded] == [c.key for c in report.survivors]
+
+
+def test_zero_rounds_keeps_every_candidate(smoke_model):
+    report = suggest_next_round(smoke_model, _spec(), rounds=0)
+    assert len(report.survivors) == report.candidates == 16
+    assert report.rounds == []
+
+
+def test_design_and_scale_must_be_in_the_spec(smoke_model):
+    with pytest.raises(ValueError, match="not in the spec"):
+        suggest_next_round(smoke_model, _spec(), design="s38417")
+    with pytest.raises(ValueError, match="not in the spec"):
+        suggest_next_round(smoke_model, _spec(), scale=0.5)
+    with pytest.raises(ValueError, match="rounds must be"):
+        suggest_next_round(smoke_model, _spec(), rounds=-1)
+
+
+def test_objectives_must_be_model_targets(smoke_model):
+    spec = _spec(objectives=["skew_ps", "wirelength_um"])
+    report = suggest_next_round(smoke_model, spec)
+    assert report.objectives == ("skew_ps", "wirelength_um")
+    bad = _spec()
+    bad.objectives = ("not_a_metric",)
+    with pytest.raises(ValueError, match="not a model target"):
+        suggest_next_round(smoke_model, bad)

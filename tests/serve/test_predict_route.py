@@ -1,0 +1,194 @@
+"""The /v1/predict route and the predicted hint on /v1/cts.
+
+The core contract: a prediction is answered by the model, never the
+fabric — zero flow executions, zero queue occupancy.  The hint on
+/v1/cts rides along with the real answer without changing it.
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.serve.service as service_mod
+from repro.obs.metrics import METRICS
+from repro.predict import extract_dataset, fit
+from repro.serve import CTSServer, CTSService
+from repro.sweep.store import SweepStore, load_records
+
+from tests.serve.test_server import FakeFlow, _get, _payload, _post
+
+SMOKE_RECORDS = Path(__file__).resolve().parents[2] \
+    / "benchmarks" / "sweep_smoke_expected.jsonl"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit(extract_dataset(load_records(SMOKE_RECORDS)))
+
+
+def _serve(tmp_path, scenario, monkeypatch=None, flow=None,
+           predictor=None):
+    if flow is not None:
+        monkeypatch.setattr(service_mod, "compute_record", flow)
+
+    async def run():
+        service = CTSService(SweepStore(tmp_path), jobs=1,
+                             queue_depth=8, predictor=predictor)
+        server = CTSServer(service, port=0)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.aclose()
+
+    return asyncio.run(run())
+
+
+def test_predict_answers_from_the_model_with_zero_executions(
+        tmp_path, monkeypatch, model):
+    """The acceptance contract: no flow runs behind /v1/predict."""
+    flow = FakeFlow()
+
+    async def scenario(server):
+        return await _post(server.host, server.port, _payload(),
+                           path="/v1/predict")
+
+    status, raw = _serve(tmp_path, scenario, monkeypatch, flow,
+                         predictor=model)
+    assert status == 200
+    body = json.loads(raw)
+    assert body["model"] == model.key()
+    assert body["cached"] is False
+    assert set(body["predicted"]) == set(model.target_names)
+    assert all(isinstance(v, float) for v in body["predicted"].values())
+    assert flow.calls == 0
+    counters = METRICS.as_dict()["counters"]
+    assert counters["serve.flow.executed"] == 0
+    assert counters["predict.request"] == 1
+
+
+def test_predict_reports_cached_when_the_store_has_the_record(
+        tmp_path, monkeypatch, model):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        # measure once through the fabric, then predict the same point
+        status1, _ = await _post(server.host, server.port, _payload())
+        status2, raw = await _post(server.host, server.port, _payload(),
+                                   path="/v1/predict")
+        return status1, status2, json.loads(raw)
+
+    status1, status2, body = _serve(tmp_path, scenario, monkeypatch,
+                                    flow, predictor=model)
+    assert status1 == status2 == 200
+    assert body["cached"] is True
+    assert flow.calls == 1          # /v1/cts only; predict never runs
+
+
+def test_predict_without_a_model_is_503(tmp_path, monkeypatch):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        return await _post(server.host, server.port, _payload(),
+                           path="/v1/predict")
+
+    status, raw = _serve(tmp_path, scenario, monkeypatch, flow)
+    assert status == 503
+    error = json.loads(raw)["error"]
+    assert error["type"] == "ModelUnavailable"
+    assert "--model" in error["detail"]
+
+
+def test_predict_rejects_malformed_requests(tmp_path, monkeypatch,
+                                            model):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        return await _post(server.host, server.port,
+                           {"design": "nope"}, path="/v1/predict")
+
+    status, raw = _serve(tmp_path, scenario, monkeypatch, flow,
+                         predictor=model)
+    assert status == 400
+    assert json.loads(raw)["error"]["type"] == "RequestError"
+
+
+def test_cts_response_carries_the_predicted_hint(tmp_path, monkeypatch,
+                                                 model):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        return await _post(server.host, server.port, _payload())
+
+    status, raw = _serve(tmp_path, scenario, monkeypatch, flow,
+                         predictor=model)
+    assert status == 200
+    body = json.loads(raw)
+    assert set(body["predicted"]) == set(model.target_names)
+    assert body["record"]["status"] == "ok"   # the answer is unchanged
+    assert METRICS.as_dict()["counters"]["predict.hint"] == 1
+
+
+def test_cts_response_has_no_hint_without_a_model(tmp_path,
+                                                  monkeypatch):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        return await _post(server.host, server.port, _payload())
+
+    status, raw = _serve(tmp_path, scenario, monkeypatch, flow)
+    assert status == 200
+    assert "predicted" not in json.loads(raw)
+
+
+def test_stream_emits_the_predicted_event_before_the_result(
+        tmp_path, monkeypatch, model):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        body = json.dumps(_payload(stream=True)).encode()
+        writer.write(
+            f"POST /v1/cts HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n".encode() + body)
+        await writer.drain()
+        data = await reader.read()
+        writer.close()
+        return data
+
+    data = _serve(tmp_path, scenario, monkeypatch, flow,
+                  predictor=model)
+    _, _, payload = data.partition(b"\r\n\r\n")
+    lines = [json.loads(line) for line in payload.split(b"\r\n")
+             if line.startswith(b"{")]
+    events = [e["event"] for e in lines]
+    assert events[0] == "accepted"
+    assert events[1] == "predicted"
+    assert events[-1] == "result"
+    hint = lines[1]
+    assert set(hint["predicted"]) == set(model.target_names)
+    assert hint["key"] == lines[-1]["key"]
+
+
+def test_predict_counters_are_present_at_zero_with_a_model(
+        tmp_path, monkeypatch, model):
+    flow = FakeFlow()
+
+    async def scenario(server):
+        _, raw = await _get(server.host, server.port, "/metrics")
+        return json.loads(raw)["counters"]
+
+    counters = _serve(tmp_path, scenario, monkeypatch, flow,
+                      predictor=model)
+    assert counters["predict.request"] == 0
+    assert counters["predict.hint"] == 0

@@ -103,3 +103,53 @@ def test_to_dict_shape():
     assert data["points"] == 2
     assert data["entries"][0]["on_front"] is True
     assert data["entries"][1]["dominated_by"] == "a"
+
+
+# ----------------------------------------------------------------------
+# Skyline fast path: differential against the general O(n^2) front
+# ----------------------------------------------------------------------
+def test_skyline_matches_the_general_front_on_random_lattices():
+    """The 2-objective skyline must agree with the all-pairs front —
+    membership AND order — on dense tie-heavy integer lattices and on
+    float clouds alike."""
+    import random
+
+    from repro.sweep.pareto import _front_general, _front_skyline_2d
+
+    rng = random.Random(20240809)
+    for trial in range(60):
+        n = rng.randrange(1, 40)
+        if trial % 2:
+            points = [(rng.randrange(6), rng.randrange(6))
+                      for _ in range(n)]
+        else:
+            points = [(round(rng.uniform(0, 3), 2),
+                       round(rng.uniform(0, 3), 2))
+                      for _ in range(n)]
+        records = [_rec(f"k{i}", s, l) for i, (s, l) in
+                   enumerate(points)]
+        result = pareto_front(records, objectives=OBJ)
+        entries = result.entries
+        assert _front_skyline_2d(entries, OBJ) == \
+            _front_general(entries, OBJ), points
+
+
+def test_three_objective_front_takes_the_general_path():
+    records = [
+        {"key": "a", "status": "ok",
+         "quality": {"skew_ps": 1.0, "latency_ps": 9.0,
+                     "wirelength_um": 5.0}},
+        {"key": "b", "status": "ok",
+         "quality": {"skew_ps": 9.0, "latency_ps": 1.0,
+                     "wirelength_um": 5.0}},
+        {"key": "c", "status": "ok",
+         "quality": {"skew_ps": 9.0, "latency_ps": 9.0,
+                     "wirelength_um": 1.0}},
+        {"key": "d", "status": "ok",
+         "quality": {"skew_ps": 9.0, "latency_ps": 9.0,
+                     "wirelength_um": 5.0}},   # dominated by all three
+    ]
+    result = pareto_front(
+        records,
+        objectives=("skew_ps", "latency_ps", "wirelength_um"))
+    assert [e.key for e in result.front] == ["a", "b", "c"]

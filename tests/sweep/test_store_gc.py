@@ -1,0 +1,114 @@
+"""Store maintenance: stats aggregation and schema-aware gc."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.sweep.store import RESULT_SCHEMA_VERSION, SweepStore
+
+
+def _record(key, design="s38584", scale=0.05, schema=None, status="ok"):
+    return {
+        "schema": RESULT_SCHEMA_VERSION if schema is None else schema,
+        "key": key,
+        "design": design,
+        "scale": scale,
+        "status": status,
+        "quality": {"skew_ps": 1.0},
+    }
+
+
+def _key(i: int) -> str:
+    return f"{i:064x}"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SweepStore(tmp_path)
+
+
+def test_stats_aggregates_by_design_schema_and_status(store):
+    store.put(_key(0), _record(_key(0)))
+    store.put(_key(1), _record(_key(1), status="error"))
+    store.put(_key(2), _record(_key(2), design="s38417", scale=0.02))
+    stats = store.stats()
+    assert stats["records"] == 3
+    assert stats["corrupt"] == 0
+    assert stats["bytes"] > 0
+    assert stats["schemas"] == {str(RESULT_SCHEMA_VERSION): 3}
+    assert stats["statuses"] == {"error": 1, "ok": 2}
+    assert set(stats["designs"]) == {"s38584@0.05", "s38417@0.02"}
+    assert stats["designs"]["s38584@0.05"]["records"] == 2
+    # last_used is an ISO-8601 UTC stamp from the file mtime
+    assert stats["designs"]["s38584@0.05"]["last_used"].endswith("Z")
+    assert stats["sweeps"] == []
+
+
+def test_stats_counts_corrupt_files_without_raising(store):
+    store.put(_key(0), _record(_key(0)))
+    store.record_path(_key(1)).write_text("{broken")
+    stats = store.stats()
+    assert stats["records"] == 1
+    assert stats["corrupt"] == 1
+
+
+def test_gc_dry_run_reports_without_deleting(store):
+    store.put(_key(0), _record(_key(0)))                  # live
+    store.put(_key(1), _record(_key(1), schema=1))        # stale schema
+    store.record_path(_key(2)).write_text("{broken")      # corrupt
+    report = store.gc()
+    assert report["dry_run"] is True
+    assert report["stale_schema"] == [_key(1)]
+    assert report["corrupt"] == [f"{_key(2)}.json"]
+    assert report["candidates"] == 2
+    assert report["removed"] == 0
+    assert store.record_path(_key(1)).exists()
+    assert store.record_path(_key(2)).exists()
+
+
+def test_gc_apply_removes_only_the_garbage(store):
+    store.put(_key(0), _record(_key(0)))
+    store.put(_key(1), _record(_key(1), schema=1))
+    store.record_path(_key(2)).write_text("{broken")
+    # a record whose body does not match its filename key is corrupt
+    store.record_path(_key(3)).write_text(
+        json.dumps(_record(_key(0))))
+    report = store.gc(dry_run=False)
+    assert report["removed"] == 3
+    assert store.record_path(_key(0)).exists()
+    assert not store.record_path(_key(1)).exists()
+    assert not store.record_path(_key(2)).exists()
+    assert not store.record_path(_key(3)).exists()
+    assert store.keys() == [_key(0)]
+
+
+def test_gc_refuses_the_current_schema_version(store):
+    with pytest.raises(ValueError, match="refusing to gc"):
+        store.gc(schema_version=RESULT_SCHEMA_VERSION)
+
+
+def test_gc_narrows_to_one_old_schema_version(store):
+    store.put(_key(1), _record(_key(1), schema=1))
+    store.put(_key(2), _record(_key(2), schema=0))
+    report = store.gc(schema_version=1, dry_run=False)
+    assert report["stale_schema"] == [_key(1)]
+    assert not store.record_path(_key(1)).exists()
+    assert store.record_path(_key(2)).exists()   # other old version kept
+
+
+def test_gc_collects_orphan_tmp_files_under_the_grace_rules(store):
+    records_dir = store.record_path(_key(0)).parent
+    # own pid: never stale, never collected
+    own = records_dir / f"a.tmp.{os.getpid()}"
+    own.write_text("")
+    # dead pid, old enough to be past the dead-process grace window
+    dead = records_dir / "b.tmp.999999999"
+    dead.write_text("")
+    old = time.time() - 120
+    os.utime(dead, (old, old))
+    report = store.gc(dry_run=False)
+    assert report["orphans"] == [dead.name]
+    assert own.exists()
+    assert not dead.exists()
